@@ -1,0 +1,38 @@
+# Development entry points for the dbdc library.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full benchmark sweep: one benchmark per paper figure/table plus the
+# ablations. Expect several minutes (Figure 8 runs a 203,000-point study).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/astronomy
+	$(GO) run ./examples/retail
+	$(GO) run ./examples/monitoring
+
+clean:
+	$(GO) clean ./...

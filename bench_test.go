@@ -1,0 +1,387 @@
+// Benchmarks regenerating the measurements behind every table and figure of
+// the DBDC paper's evaluation (Section 9), plus ablation benches for the
+// design choices DESIGN.md calls out. Absolute numbers differ from the
+// paper's 2004 hardware; the shapes (who wins, by what rough factor, where
+// crossovers fall) are the reproduction target. cmd/experiments prints the
+// full tables; these benches make the underlying costs measurable with
+// `go test -bench=. -benchmem`.
+package dbdc_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	lib "github.com/dbdc-go/dbdc"
+	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/distkmeans"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/index/rstar"
+	"github.com/dbdc-go/dbdc/internal/model"
+	"github.com/dbdc-go/dbdc/internal/pdbscan"
+	"github.com/dbdc-go/dbdc/internal/quality"
+)
+
+// sitesOf splits a data set over k equally sized sites.
+func sitesOf(ds lib.Dataset, k int) []lib.Site {
+	sites := make([]lib.Site, k)
+	per := len(ds.Points) / k
+	for s := 0; s < k; s++ {
+		end := (s + 1) * per
+		if s == k-1 {
+			end = len(ds.Points)
+		}
+		sites[s] = lib.Site{ID: fmt.Sprintf("site-%02d", s), Points: ds.Points[s*per : end]}
+	}
+	return sites
+}
+
+func dbdcConfig(ds lib.Dataset, kind lib.ModelKind) lib.Config {
+	return lib.Config{
+		Local:      ds.Params,
+		Model:      kind,
+		EpsGlobal:  2 * ds.Params.Eps,
+		Sequential: true,
+	}
+}
+
+// benchCentral measures the reference central DBSCAN run.
+func benchCentral(b *testing.B, ds lib.Dataset) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lib.Cluster(ds.Points, ds.Params, lib.IndexRStar); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDBDC measures the full distributed pipeline.
+func benchDBDC(b *testing.B, ds lib.Dataset, k int, kind lib.ModelKind) {
+	sites := sitesOf(ds, k)
+	cfg := dbdcConfig(ds, kind)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := lib.Run(sites, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DistributedDuration().Seconds()*1000, "distms/op")
+	}
+}
+
+// BenchmarkFig7a — runtime vs cardinality (large): central DBSCAN versus
+// DBDC with both local models on data set A at 4 sites. Paper shape: DBDC
+// far ahead at scale, REP_Scor cheaper than REP_kMeans.
+func BenchmarkFig7a(b *testing.B) {
+	for _, n := range []int{10_000, 50_000, 100_000} {
+		ds := lib.DatasetA(n, 1)
+		b.Run(fmt.Sprintf("central/n=%d", n), func(b *testing.B) { benchCentral(b, ds) })
+		b.Run(fmt.Sprintf("dbdc-scor/n=%d", n), func(b *testing.B) { benchDBDC(b, ds, 4, lib.RepScor) })
+		b.Run(fmt.Sprintf("dbdc-kmeans/n=%d", n), func(b *testing.B) { benchDBDC(b, ds, 4, lib.RepKMeans) })
+	}
+}
+
+// BenchmarkFig7b — runtime vs cardinality (small): the overhead region
+// where DBDC is slightly slower than central clustering.
+func BenchmarkFig7b(b *testing.B) {
+	for _, n := range []int{500, 2_000, 8_700} {
+		ds := lib.DatasetA(n, 1)
+		b.Run(fmt.Sprintf("central/n=%d", n), func(b *testing.B) { benchCentral(b, ds) })
+		b.Run(fmt.Sprintf("dbdc-scor/n=%d", n), func(b *testing.B) { benchDBDC(b, ds, 4, lib.RepScor) })
+		b.Run(fmt.Sprintf("dbdc-kmeans/n=%d", n), func(b *testing.B) { benchDBDC(b, ds, 4, lib.RepKMeans) })
+	}
+}
+
+// BenchmarkFig8 — runtime vs number of sites on the 203,000-point data set;
+// the speed-up over the central run (also measured here) lies between O(s)
+// and O(s²).
+func BenchmarkFig8(b *testing.B) {
+	ds := lib.DatasetA(203_000, 1)
+	b.Run("central", func(b *testing.B) { benchCentral(b, ds) })
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("dbdc-scor/sites=%d", k), func(b *testing.B) { benchDBDC(b, ds, k, lib.RepScor) })
+	}
+}
+
+// benchQuality runs DBDC and evaluates both quality functions against the
+// central reference; the qualities are reported as benchmark metrics so the
+// figure's series appear in the bench output.
+func benchQuality(b *testing.B, ds lib.Dataset, k int, kind lib.ModelKind, epsFactor float64) {
+	central, err := lib.Cluster(ds.Points, ds.Params, lib.IndexRStar)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites := sitesOf(ds, k)
+	cfg := dbdcConfig(ds, kind)
+	cfg.EpsGlobal = epsFactor * ds.Params.Eps
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := lib.Run(sites, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Assemble the distributed labeling in data set order (contiguous
+		// split, so concatenation in site order).
+		distributed := make(lib.Labeling, 0, len(ds.Points))
+		for s := range sites {
+			distributed = append(distributed, res.Sites[sites[s].ID].Labels...)
+		}
+		pi, err := quality.QDBDCPI(distributed, central.Labels, ds.Params.MinPts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pii, err := quality.QDBDCPII(distributed, central.Labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pi*100, "P1pct")
+		b.ReportMetric(pii*100, "P2pct")
+	}
+}
+
+// BenchmarkFig9 — quality vs Eps_global factor for both local models (9a:
+// P^I flat; 9b: P^II peaks near factor 2).
+func BenchmarkFig9(b *testing.B) {
+	ds := lib.DatasetA(data.DatasetASize, 1)
+	for _, factor := range []float64{1.0, 2.0, 4.0} {
+		b.Run(fmt.Sprintf("scor/factor=%.1f", factor), func(b *testing.B) {
+			benchQuality(b, ds, 4, lib.RepScor, factor)
+		})
+		b.Run(fmt.Sprintf("kmeans/factor=%.1f", factor), func(b *testing.B) {
+			benchQuality(b, ds, 4, lib.RepKMeans, factor)
+		})
+	}
+}
+
+// BenchmarkFig10 — quality vs number of client sites at the default
+// Eps_global = 2·Eps_local.
+func BenchmarkFig10(b *testing.B) {
+	ds := lib.DatasetA(data.DatasetASize, 1)
+	for _, k := range []int{2, 8, 20} {
+		b.Run(fmt.Sprintf("scor/sites=%d", k), func(b *testing.B) {
+			benchQuality(b, ds, k, lib.RepScor, 2)
+		})
+		b.Run(fmt.Sprintf("kmeans/sites=%d", k), func(b *testing.B) {
+			benchQuality(b, ds, k, lib.RepKMeans, 2)
+		})
+	}
+}
+
+// BenchmarkFig11 — quality on the three evaluation data sets A, B and C.
+func BenchmarkFig11(b *testing.B) {
+	for _, ds := range data.ABC(1) {
+		libDS := lib.Dataset{Name: ds.Name, Points: ds.Points, Params: ds.Params}
+		b.Run(fmt.Sprintf("scor/dataset=%s", ds.Name), func(b *testing.B) {
+			benchQuality(b, libDS, 4, lib.RepScor, 2)
+		})
+		b.Run(fmt.Sprintf("kmeans/dataset=%s", ds.Name), func(b *testing.B) {
+			benchQuality(b, libDS, 4, lib.RepKMeans, 2)
+		})
+	}
+}
+
+// BenchmarkAblationIndex — DBSCAN cost per neighborhood index on data set A
+// at its paper cardinality: the access-method choice DESIGN.md calls out.
+func BenchmarkAblationIndex(b *testing.B) {
+	ds := data.DatasetA(data.DatasetASize, 1)
+	for _, kind := range index.Kinds() {
+		idx, err := index.Build(kind, ds.Points, geom.Euclidean{}, ds.Params.Eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dbscan.Run(idx, ds.Params, dbscan.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScorCollection — the cost the on-the-fly specific core
+// point extraction adds to a plain DBSCAN run.
+func BenchmarkAblationScorCollection(b *testing.B) {
+	ds := data.DatasetA(data.DatasetASize, 1)
+	idx, err := index.Build(index.KindRStar, ds.Points, geom.Euclidean{}, ds.Params.Eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, collect := range []bool{false, true} {
+		b.Run(fmt.Sprintf("collect=%v", collect), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dbscan.Run(idx, ds.Params,
+					dbscan.Options{CollectSpecificCores: collect}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelEncoding — wire-size and speed of the binary encoding
+// against JSON for a realistic local model (the transmission-cost design
+// choice).
+func BenchmarkModelEncoding(b *testing.B) {
+	ds := lib.DatasetA(data.DatasetASize, 1)
+	out, err := lib.LocalStep("site-0", ds.Points, lib.Config{Local: ds.Params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := out.Model
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err := m.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(buf)), "bytes")
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(float64(m.JSONSize()), "bytes")
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(buf.Len()), "bytes")
+		}
+	})
+	b.Run("raw-points-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(float64(m.RawPointsSize(2)), "bytes")
+		}
+	})
+}
+
+// BenchmarkAblationRStarBuild — incremental insertion versus STR bulk
+// loading of the R*-tree.
+func BenchmarkAblationRStarBuild(b *testing.B) {
+	ds := data.DatasetA(25_000, 1)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rstar.New(ds.Points); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rstar.NewBulk(ds.Points); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationModelKind — local model construction cost: REP_Scor
+// versus REP_kMeans on one site (the Figure 7a observation that REP_Scor is
+// cheaper).
+func BenchmarkAblationModelKind(b *testing.B) {
+	ds := lib.DatasetA(data.DatasetASize, 1)
+	for _, kind := range model.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			cfg := lib.Config{Local: ds.Params, Model: kind}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lib.LocalStep("s", ds.Points, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComparisonMethods — cost of one full distributed clustering per
+// method on data set A at 4 sites (quality lives in the comparison table;
+// this measures compute).
+func BenchmarkComparisonMethods(b *testing.B) {
+	ds := data.DatasetA(data.DatasetASize, 1)
+	b.Run("dbdc-scor", func(b *testing.B) {
+		libDS := lib.Dataset{Name: ds.Name, Points: ds.Points, Params: ds.Params}
+		benchDBDC(b, libDS, 4, lib.RepScor)
+	})
+	b.Run("pdbscan-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pdbscan.Run(ds.Points, ds.Params, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dist-kmeans", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		part, err := data.PartitionRandom(len(ds.Points), 4, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites := part.Extract(ds.Points)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := distkmeans.Run(sites, 10, rng, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalMaintenance — mixed insert/delete stream against the
+// incremental DBSCAN clusterer, the site-side cost of the "changed
+// considerably" policy.
+func BenchmarkIncrementalMaintenance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inc, err := lib.NewIncremental(lib.Params{Eps: 0.5, MinPts: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live []int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(live) > 100 && rng.Float64() < 0.3 {
+			k := rng.Intn(len(live))
+			if err := inc.Delete(live[k]); err != nil {
+				b.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		idx, err := inc.Insert(lib.Point{rng.Float64() * 20, rng.Float64() * 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, idx)
+	}
+}
+
+// BenchmarkRelabel — step 4 alone: assigning 8700 objects global ids from
+// a realistic global model.
+func BenchmarkRelabel(b *testing.B) {
+	ds := lib.DatasetA(data.DatasetASize, 1)
+	out, err := lib.LocalStep("site", ds.Points, lib.Config{Local: ds.Params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	global, err := lib.GlobalStep([]*lib.LocalModel{out.Model}, lib.Config{Local: ds.Params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = lib.Relabel(ds.Points, global)
+	}
+}

@@ -1,0 +1,58 @@
+// Command dbdc-server runs the central DBDC site: it waits for the given
+// number of client sites to upload their local models, computes the global
+// model and sends it back to every site.
+//
+// Usage:
+//
+//	dbdc-server -addr :7070 -sites 3 -eps 1.2 -minpts 4 [-epsglobal 0]
+//
+// Pair it with dbdc-site processes pointing at the same address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	lib "github.com/dbdc-go/dbdc"
+	"github.com/dbdc-go/dbdc/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	sites := flag.Int("sites", 2, "number of site connections per round")
+	eps := flag.Float64("eps", 0, "Eps_local the sites use (required; validates models)")
+	minPts := flag.Int("minpts", 0, "MinPts the sites use (required)")
+	epsGlobal := flag.Float64("epsglobal", 0, "Eps_global; 0 = paper default (max specific ε-range)")
+	rounds := flag.Int("rounds", 1, "number of DBDC rounds to serve before exiting")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-connection I/O timeout")
+	flag.Parse()
+
+	if *eps <= 0 || *minPts < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := lib.Config{
+		Local:     lib.Params{Eps: *eps, MinPts: *minPts},
+		EpsGlobal: *epsGlobal,
+	}
+	srv, err := transport.NewServer(*addr, *sites, cfg, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "dbdc-server: listening on %s for %d sites\n", srv.Addr(), *sites)
+	for round := 1; round <= *rounds; round++ {
+		global, err := srv.RunRound()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-server: round %d failed: %v\n", round, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr,
+			"dbdc-server: round %d: %d representatives in %d global clusters (Eps_global=%g), in=%dB out=%dB\n",
+			round, len(global.Reps), global.NumClusters, global.EpsGlobal,
+			srv.BytesIn(), srv.BytesOut())
+	}
+}

@@ -1,0 +1,86 @@
+// Command dbdc-site runs one client site of a networked DBDC deployment:
+// it clusters a local CSV with DBSCAN, uploads the local model to the
+// server, receives the global model and writes its relabelled objects.
+//
+// Usage:
+//
+//	dbdc-site -addr server:7070 -id site-1 -input local.csv -eps 1.2 -minpts 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	lib "github.com/dbdc-go/dbdc"
+	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	id := flag.String("id", "", "site id (required)")
+	input := flag.String("input", "", "local CSV of points (required)")
+	eps := flag.Float64("eps", 0, "DBSCAN Eps_local (required)")
+	minPts := flag.Int("minpts", 0, "DBSCAN MinPts (required)")
+	modelKind := flag.String("model", string(lib.RepScor), "local model: rep-scor or rep-kmeans")
+	out := flag.String("o", "", "output file for global labels (default stdout)")
+	timeout := flag.Duration("timeout", 30*time.Second, "I/O timeout")
+	serveQueries := flag.String("serve-queries", "", "after the round, serve cluster-membership queries on this address (e.g. :7071) until killed")
+	flag.Parse()
+
+	if *id == "" || *input == "" || *eps <= 0 || *minPts < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		fatal(err)
+	}
+	pts, err := data.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := lib.Config{
+		Local: lib.Params{Eps: *eps, MinPts: *minPts},
+		Model: lib.ModelKind(*modelKind),
+	}
+	report, err := lib.RunSite(*addr, *id, pts, cfg, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, id := range report.Labels {
+		fmt.Fprintln(w, id)
+	}
+	fmt.Fprintf(os.Stderr,
+		"dbdc-site %s: %d points, %d global clusters visible, %d former noise adopted, sent %dB, received %dB\n",
+		*id, len(pts), report.Global.NumClusters, report.Stats.NoiseAdopted,
+		report.BytesSent, report.BytesReceived)
+	if *serveQueries != "" {
+		qs, err := transport.NewSiteQueryServer(*serveQueries, pts, report.Labels, *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		defer qs.Close()
+		fmt.Fprintf(os.Stderr, "dbdc-site %s: serving cluster queries on %s\n", *id, qs.Addr())
+		if err := qs.Serve(0); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dbdc-site: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,287 @@
+// Package dbdc is the public API of the DBDC library, a Go implementation
+// of Density Based Distributed Clustering (Januzaj, Kriegel, Pfeifle —
+// EDBT 2004).
+//
+// DBDC clusters data that is horizontally distributed over independent
+// sites without shipping the raw objects to a central server. Each site
+// clusters locally with DBSCAN, condenses every local cluster into a small
+// set of representatives with validity radii (the local model), and sends
+// only those to the server. The server reconstructs a global clustering by
+// clustering the representatives, and each site relabels its own objects
+// from the returned global model.
+//
+// The top-level entry points:
+//
+//   - Run executes the whole pipeline over in-process sites.
+//   - LocalStep / GlobalStep / Relabel expose the individual phases for
+//     distributed deployments; the transport helpers (NewServer, RunSite)
+//     run them over TCP.
+//   - Cluster runs plain central DBSCAN, the reference baseline.
+//   - QualityPI / QualityPII evaluate a distributed clustering against a
+//     central reference with the paper's quality measures.
+//
+// All functionality is implemented from scratch on the standard library,
+// including the spatial access methods (R*-tree, M-tree, kd-tree, grid)
+// DBSCAN runs on.
+package dbdc
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/data"
+	core "github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/incdbscan"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/model"
+	"github.com/dbdc-go/dbdc/internal/quality"
+	"github.com/dbdc-go/dbdc/internal/transport"
+	"github.com/dbdc-go/dbdc/internal/viz"
+)
+
+// Point is a position in a d-dimensional vector space.
+type Point = geom.Point
+
+// Rect is an axis-aligned bounding box.
+type Rect = geom.Rect
+
+// Metric is a distance function on points.
+type Metric = geom.Metric
+
+// Euclidean is the L2 metric.
+type Euclidean = geom.Euclidean
+
+// ClusterID identifies a cluster; Noise marks unclustered objects.
+type ClusterID = cluster.ID
+
+// Noise is the label of objects belonging to no cluster.
+const Noise = cluster.Noise
+
+// Labeling assigns every object a cluster id or noise.
+type Labeling = cluster.Labeling
+
+// Params are the DBSCAN parameters Eps and MinPts.
+type Params = dbscan.Params
+
+// ClusteringResult is the output of a central DBSCAN run.
+type ClusteringResult = dbscan.Result
+
+// Config collects all DBDC parameters; see the field documentation of the
+// core package.
+type Config = core.Config
+
+// Site is one participant of a distributed clustering.
+type Site = core.Site
+
+// Result is the outcome of a full DBDC run.
+type Result = core.Result
+
+// SiteResult is the per-site outcome of a DBDC run.
+type SiteResult = core.SiteResult
+
+// LocalOutcome bundles a site's clustering and its local model.
+type LocalOutcome = core.LocalOutcome
+
+// RelabelStats summarises how relabeling changed a site's clustering.
+type RelabelStats = core.RelabelStats
+
+// LocalModel is the aggregated information a site sends to the server.
+type LocalModel = model.LocalModel
+
+// GlobalModel is what the server broadcasts back to the sites.
+type GlobalModel = model.GlobalModel
+
+// Representative is one element of a local model.
+type Representative = model.Representative
+
+// ModelKind selects the local model construction.
+type ModelKind = model.Kind
+
+// The two local models of the paper.
+const (
+	// RepScor represents clusters by specific core points (Section 5.1).
+	RepScor = model.RepScor
+	// RepKMeans refines them with k-means centroids (Section 5.2).
+	RepKMeans = model.RepKMeans
+)
+
+// IndexKind selects a neighborhood index implementation.
+type IndexKind = index.Kind
+
+// Available index kinds.
+const (
+	IndexLinear = index.KindLinear
+	IndexGrid   = index.KindGrid
+	IndexKDTree = index.KindKDTree
+	IndexRStar  = index.KindRStar
+	IndexMTree  = index.KindMTree
+)
+
+// Run executes the four DBDC steps over in-process sites, each in its own
+// goroutine.
+func Run(sites []Site, cfg Config) (*Result, error) { return core.Run(sites, cfg) }
+
+// LocalStep performs local clustering and model determination for one site.
+func LocalStep(siteID string, pts []Point, cfg Config) (*LocalOutcome, error) {
+	return core.LocalStep(siteID, pts, cfg)
+}
+
+// GlobalStep merges local models into the global model on the server.
+func GlobalStep(models []*LocalModel, cfg Config) (*GlobalModel, error) {
+	return core.GlobalStep(models, cfg)
+}
+
+// Relabel assigns global cluster ids to a site's objects from the global
+// model.
+func Relabel(pts []Point, global *GlobalModel) Labeling { return core.Relabel(pts, global) }
+
+// Cluster runs central DBSCAN over all points with the given index kind
+// (empty kind selects the R*-tree) — the reference DBDC is compared
+// against.
+func Cluster(pts []Point, params Params, kind IndexKind) (*ClusteringResult, error) {
+	if kind == "" {
+		kind = index.KindRStar
+	}
+	idx, err := index.Build(kind, pts, geom.Euclidean{}, params.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return dbscan.Run(idx, params, dbscan.Options{})
+}
+
+// QualityPI computes Q_DBDC under the discrete object quality function P^I
+// (Definition 10) with quality parameter qp (the paper recommends MinPts).
+func QualityPI(distributed, central Labeling, qp int) (float64, error) {
+	return quality.QDBDCPI(distributed, central, qp)
+}
+
+// QualityPII computes Q_DBDC under the continuous object quality function
+// P^II (Definition 11).
+func QualityPII(distributed, central Labeling) (float64, error) {
+	return quality.QDBDCPII(distributed, central)
+}
+
+// Server is the central TCP server of a networked DBDC deployment.
+type Server = transport.Server
+
+// UpdateServer is the long-running server for incremental deployments: it
+// retains the newest local model per site and rebuilds the global model on
+// every upload.
+type UpdateServer = transport.UpdateServer
+
+// NewUpdateServer listens on addr for model updates.
+func NewUpdateServer(addr string, cfg Config, timeout time.Duration) (*UpdateServer, error) {
+	return transport.NewUpdateServer(addr, cfg, timeout)
+}
+
+// SiteQueryServer serves cluster-membership queries over a site's
+// relabelled objects (the "give me all objects in global cluster 4711"
+// query of the paper's Section 7).
+type SiteQueryServer = transport.SiteQueryServer
+
+// NewSiteQueryServer serves the given relabelled objects on addr.
+func NewSiteQueryServer(addr string, pts []Point, labels Labeling, timeout time.Duration) (*SiteQueryServer, error) {
+	return transport.NewSiteQueryServer(addr, pts, labels, timeout)
+}
+
+// QueryCluster asks a site for all of its objects in the given global
+// cluster.
+func QueryCluster(addr string, id ClusterID, timeout time.Duration) ([]Point, error) {
+	return transport.QueryCluster(addr, id, timeout)
+}
+
+// Exchange performs the site side of one round against a remote server:
+// upload the local model, receive the global model.
+func Exchange(addr string, local *LocalModel, timeout time.Duration) (*GlobalModel, int, int, error) {
+	return transport.Exchange(addr, local, timeout)
+}
+
+// SiteReport is the outcome of a networked site run.
+type SiteReport = transport.SiteReport
+
+// NewServer listens for one round of expect site connections.
+func NewServer(addr string, expect int, cfg Config, timeout time.Duration) (*Server, error) {
+	return transport.NewServer(addr, expect, cfg, timeout)
+}
+
+// RunSite executes the full site-side pipeline against a remote server.
+func RunSite(addr, siteID string, pts []Point, cfg Config, timeout time.Duration) (*SiteReport, error) {
+	return transport.RunSite(addr, siteID, pts, cfg, timeout)
+}
+
+// Incremental is an incrementally maintained DBSCAN clustering (Ester et
+// al. 1998): sites use it to keep their local clustering current as objects
+// arrive and only ship a fresh local model when the clustering changed
+// considerably.
+type Incremental = incdbscan.Clusterer
+
+// NewIncremental returns an empty incremental clusterer.
+func NewIncremental(params Params) (*Incremental, error) { return incdbscan.New(params) }
+
+// Partition assigns data set objects to sites.
+type Partition = data.Partition
+
+// PartitionRandom distributes n objects over k equally sized sites at
+// random — the layout of the paper's experiments.
+func PartitionRandom(n, k int, rng *rand.Rand) (*Partition, error) {
+	return data.PartitionRandom(n, k, rng)
+}
+
+// PartitionSpatial splits objects into k angular sectors around the data
+// centroid — the adversarial layout where every site sees a different
+// region of space.
+func PartitionSpatial(pts []Point, k int) (*Partition, error) {
+	return data.PartitionSpatial(pts, k)
+}
+
+// Dataset couples a generated point set with suitable DBSCAN parameters.
+type Dataset = data.Dataset
+
+// DatasetA generates the analogue of the paper's test data set A (randomly
+// generated clusters; n scales the cardinality).
+func DatasetA(n int, seed int64) Dataset { return data.DatasetA(n, seed) }
+
+// DatasetB generates the analogue of test data set B (4000 objects, very
+// noisy).
+func DatasetB(seed int64) Dataset { return data.DatasetB(seed) }
+
+// DatasetC generates the analogue of test data set C (1021 objects, 3
+// clusters).
+func DatasetC(seed int64) Dataset { return data.DatasetC(seed) }
+
+// OpticsOrderer computes one OPTICS ordering of all representatives and
+// lets the server extract the global model at any Eps_global cut without
+// re-clustering (the Section 6 extension), including a data-driven cut
+// suggestion.
+type OpticsOrderer = core.OpticsOrderer
+
+// NewOpticsOrderer pools the representatives of the local models and
+// orders them; epsMax 0 selects the bounding-box diagonal.
+func NewOpticsOrderer(models []*LocalModel, cfg Config, epsMax float64) (*OpticsOrderer, error) {
+	return core.NewOpticsOrderer(models, cfg, epsMax)
+}
+
+// ClusteringChange quantifies how much a site's clustering drifted since
+// the last transmitted snapshot (1 − Q_DBDC(P^II)); drive the "transmit
+// only on considerable change" policy with it.
+func ClusteringChange(prev, cur Labeling) (float64, error) {
+	return core.ClusteringChange(prev, cur)
+}
+
+// PadSnapshot extends an older labeling snapshot to n objects, marking the
+// new objects as noise.
+func PadSnapshot(prev Labeling, n int) (Labeling, error) { return core.PadSnapshot(prev, n) }
+
+// ScatterPlot renders points coloured by cluster as an ASCII grid.
+func ScatterPlot(pts []Point, labels Labeling, width, height int) (string, error) {
+	return viz.Scatter(pts, labels, width, height)
+}
+
+// ReachabilityPlotASCII renders an OPTICS reachability plot as an ASCII
+// bar chart with an optional cut line (0 for none).
+func ReachabilityPlotASCII(reach []float64, width, height int, cut float64) (string, error) {
+	return viz.ReachabilityPlot(reach, width, height, cut)
+}

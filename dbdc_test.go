@@ -1,0 +1,158 @@
+package dbdc_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	dbdc "github.com/dbdc-go/dbdc"
+)
+
+func testBlob(rng *rand.Rand, cx, cy, spread float64, n int) []dbdc.Point {
+	pts := make([]dbdc.Point, n)
+	for i := range pts {
+		pts[i] = dbdc.Point{cx + rng.NormFloat64()*spread, cy + rng.NormFloat64()*spread}
+	}
+	return pts
+}
+
+func TestPublicCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := append(testBlob(rng, 0, 0, 0.3, 100), testBlob(rng, 10, 0, 0.3, 100)...)
+	for _, kind := range []dbdc.IndexKind{"", dbdc.IndexLinear, dbdc.IndexGrid,
+		dbdc.IndexKDTree, dbdc.IndexRStar, dbdc.IndexMTree} {
+		res, err := dbdc.Cluster(pts, dbdc.Params{Eps: 0.5, MinPts: 5}, kind)
+		if err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+		if res.NumClusters() != 2 {
+			t.Fatalf("kind %q: clusters = %d", kind, res.NumClusters())
+		}
+	}
+}
+
+func TestPublicRunPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shared := testBlob(rng, 0, 0, 0.3, 200)
+	sites := []dbdc.Site{
+		{ID: "a", Points: shared[:100]},
+		{ID: "b", Points: shared[100:]},
+	}
+	res, err := dbdc.Run(sites, dbdc.Config{Local: dbdc.Params{Eps: 0.5, MinPts: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Global.NumClusters != 1 {
+		t.Fatalf("clusters = %d", res.Global.NumClusters)
+	}
+	if res.Sites["a"].Labels[0] != res.Sites["b"].Labels[0] {
+		t.Fatal("shared cluster not unified")
+	}
+}
+
+func TestPublicStepByStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ptsA := testBlob(rng, 0, 0, 0.3, 150)
+	ptsB := testBlob(rng, 0.5, 0, 0.3, 150)
+	cfg := dbdc.Config{Local: dbdc.Params{Eps: 0.5, MinPts: 5}, Model: dbdc.RepKMeans}
+	outA, err := dbdc.LocalStep("a", ptsA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, err := dbdc.LocalStep("b", ptsB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := dbdc.GlobalStep([]*dbdc.LocalModel{outA.Model, outB.Model}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.NumClusters != 1 {
+		t.Fatalf("clusters = %d", global.NumClusters)
+	}
+	labels := dbdc.Relabel(ptsA, global)
+	if labels.NumClusters() != 1 {
+		t.Fatalf("relabel found %d clusters", labels.NumClusters())
+	}
+}
+
+func TestPublicQualityIdentity(t *testing.T) {
+	l := dbdc.Labeling{0, 0, 1, 1, dbdc.Noise}
+	if q, err := dbdc.QualityPI(l, l, 2); err != nil || q != 1 {
+		t.Fatalf("PI identity = %v, %v", q, err)
+	}
+	if q, err := dbdc.QualityPII(l, l); err != nil || q != 1 {
+		t.Fatalf("PII identity = %v, %v", q, err)
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	if n := len(dbdc.DatasetA(1000, 1).Points); n != 1000 {
+		t.Errorf("A: %d", n)
+	}
+	if n := len(dbdc.DatasetB(1).Points); n != 4000 {
+		t.Errorf("B: %d", n)
+	}
+	if n := len(dbdc.DatasetC(1).Points); n != 1021 {
+		t.Errorf("C: %d", n)
+	}
+}
+
+func TestPublicIncremental(t *testing.T) {
+	inc, err := dbdc.NewIncremental(dbdc.Params{Eps: 1, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []dbdc.Point{{0, 0}, {0.5, 0}, {0.25, 0.5}} {
+		if _, err := inc.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.NumClusters() != 1 {
+		t.Fatalf("clusters = %d", inc.NumClusters())
+	}
+}
+
+func TestPublicPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := dbdc.PartitionRandom(100, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSites() != 4 {
+		t.Fatalf("sites = %d", p.NumSites())
+	}
+	pts := testBlob(rng, 0, 0, 3, 100)
+	sp, err := dbdc.PartitionSpatial(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := dbdc.Config{Local: dbdc.Params{Eps: 0.5, MinPts: 5}}
+	srv, err := dbdc.NewServer("127.0.0.1:0", 1, cfg, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.RunRound()
+		done <- err
+	}()
+	rep, err := dbdc.RunSite(srv.Addr(), "solo", testBlob(rng, 0, 0, 0.3, 200), cfg, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Global.NumClusters != 1 {
+		t.Fatalf("clusters = %d", rep.Global.NumClusters)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/dbdc-go/dbdc
+
+go 1.22

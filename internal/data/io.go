@@ -1,0 +1,68 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// WriteCSV writes points as CSV rows of coordinates.
+func WriteCSV(w io.Writer, pts []geom.Point) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, 0, 8)
+	for _, p := range pts {
+		row = row[:0]
+		for _, v := range p {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("data: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses points from CSV rows of coordinates. Every row must have
+// the same number of columns.
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var pts []geom.Point
+	dim := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading csv: %w", err)
+		}
+		line++
+		if dim == -1 {
+			dim = len(rec)
+			if dim == 0 {
+				return nil, fmt.Errorf("data: csv line %d has no columns", line)
+			}
+		} else if len(rec) != dim {
+			return nil, fmt.Errorf("data: csv line %d has %d columns, want %d", line, len(rec), dim)
+		}
+		p := make(geom.Point, dim)
+		for i, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: csv line %d column %d: %w", line, i+1, err)
+			}
+			p[i] = v
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("data: csv line %d contains non-finite coordinates", line)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

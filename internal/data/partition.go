@@ -1,0 +1,138 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Partition assigns every object of a data set to a site: Sites[k] lists
+// the original object indexes residing on site k. Keeping the original
+// indexes lets the experiments reassemble a distributed labeling in data
+// set order for comparison against the central reference clustering.
+type Partition struct {
+	Sites [][]int
+}
+
+// NumSites returns the number of sites.
+func (p *Partition) NumSites() int { return len(p.Sites) }
+
+// Validate checks that the partition covers 0..n-1 exactly once.
+func (p *Partition) Validate(n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for s, site := range p.Sites {
+		for _, i := range site {
+			if i < 0 || i >= n {
+				return fmt.Errorf("data: site %d references object %d of %d", s, i, n)
+			}
+			if seen[i] {
+				return fmt.Errorf("data: object %d assigned twice", i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("data: partition covers %d of %d objects", count, n)
+	}
+	return nil
+}
+
+// Extract materialises the point slices per site.
+func (p *Partition) Extract(pts []geom.Point) [][]geom.Point {
+	out := make([][]geom.Point, len(p.Sites))
+	for s, site := range p.Sites {
+		out[s] = make([]geom.Point, len(site))
+		for j, i := range site {
+			out[s][j] = pts[i]
+		}
+	}
+	return out
+}
+
+// Assemble reverses Extract for labelings: given per-site values produced
+// in site order, it arranges them in original data set order. The type
+// parameter keeps it usable for labels and per-object qualities alike.
+func Assemble[T any](p *Partition, perSite [][]T, n int) ([]T, error) {
+	out := make([]T, n)
+	seen := 0
+	for s, site := range p.Sites {
+		if len(perSite[s]) != len(site) {
+			return nil, fmt.Errorf("data: site %d has %d values for %d objects",
+				s, len(perSite[s]), len(site))
+		}
+		for j, i := range site {
+			out[i] = perSite[s][j]
+			seen++
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("data: assembled %d of %d objects", seen, n)
+	}
+	return out, nil
+}
+
+// PartitionRandom distributes n objects over k sites uniformly at random
+// with equal site sizes (±1) — the paper's "equally distributed the data
+// set onto the different client sites".
+func PartitionRandom(n, k int, rng *rand.Rand) (*Partition, error) {
+	if k < 1 || n < 0 {
+		return nil, fmt.Errorf("data: invalid partition n=%d k=%d", n, k)
+	}
+	perm := rng.Perm(n)
+	sites := make([][]int, k)
+	for j, i := range perm {
+		s := j % k
+		sites[s] = append(sites[s], i)
+	}
+	// Deterministic per-site ordering keeps experiments reproducible.
+	for s := range sites {
+		sort.Ints(sites[s])
+	}
+	return &Partition{Sites: sites}, nil
+}
+
+// PartitionRoundRobin deals objects to sites in index order, site k
+// receiving objects k, k+numSites, ... With the block-interleaved layout of
+// the generated data sets this spreads every cluster over every site.
+func PartitionRoundRobin(n, k int) (*Partition, error) {
+	if k < 1 || n < 0 {
+		return nil, fmt.Errorf("data: invalid partition n=%d k=%d", n, k)
+	}
+	sites := make([][]int, k)
+	for i := 0; i < n; i++ {
+		sites[i%k] = append(sites[i%k], i)
+	}
+	return &Partition{Sites: sites}, nil
+}
+
+// PartitionSpatial splits the objects into k angular sectors around the
+// data centroid — the adversarial layout where every site sees a different
+// region of space, so no site can discover a whole cluster locally. Used to
+// ablate DBDC's robustness against spatially skewed distributions.
+func PartitionSpatial(pts []geom.Point, k int) (*Partition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("data: invalid site count %d", k)
+	}
+	if len(pts) == 0 {
+		return &Partition{Sites: make([][]int, k)}, nil
+	}
+	if pts[0].Dim() < 2 {
+		return nil, fmt.Errorf("data: spatial partition needs at least 2 dimensions")
+	}
+	c := geom.Centroid(pts)
+	sites := make([][]int, k)
+	for i, p := range pts {
+		angle := math.Atan2(p[1]-c[1], p[0]-c[0]) + math.Pi // [0, 2π]
+		s := int(angle / (2 * math.Pi) * float64(k))
+		if s >= k {
+			s = k - 1
+		}
+		sites[s] = append(sites[s], i)
+	}
+	return &Partition{Sites: sites}, nil
+}

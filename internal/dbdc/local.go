@@ -1,0 +1,129 @@
+package dbdc
+
+import (
+	"fmt"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/kmeans"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// LocalOutcome is everything a site derives from its own data: the DBSCAN
+// clustering of the local objects and the local model shipped to the
+// server.
+type LocalOutcome struct {
+	// SiteID identifies the site.
+	SiteID string
+	// Points are the site's objects (retained, not copied).
+	Points []geom.Point
+	// Clustering is the site-local DBSCAN result.
+	Clustering *dbscan.Result
+	// Model is the local model to transmit.
+	Model *model.LocalModel
+}
+
+// LocalStep performs steps 1 and 2 of DBDC on one site: cluster the local
+// objects with DBSCAN and condense every cluster into representatives
+// according to cfg.Model.
+func LocalStep(siteID string, pts []geom.Point, cfg Config) (*LocalOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	idx, err := index.Build(cfg.Index, pts, geom.Euclidean{}, cfg.Local.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
+	}
+	res, err := dbscan.Run(idx, cfg.Local, dbscan.Options{CollectSpecificCores: true})
+	if err != nil {
+		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
+	}
+	m := &model.LocalModel{
+		SiteID:      siteID,
+		Kind:        cfg.Model,
+		EpsLocal:    cfg.Local.Eps,
+		MinPts:      cfg.Local.MinPts,
+		NumObjects:  len(pts),
+		NumClusters: res.NumClusters(),
+	}
+	switch cfg.Model {
+	case model.RepScor:
+		m.Reps = scorReps(pts, res)
+	case model.RepKMeans:
+		m.Reps, err = kmeansReps(pts, res, cfg.KMeansMaxIter)
+		if err != nil {
+			return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
+		}
+	}
+	return &LocalOutcome{SiteID: siteID, Points: pts, Clustering: res, Model: m}, nil
+}
+
+// scorReps builds the REP_Scor local model (Section 5.1): the specific core
+// points with their specific ε-ranges, both already computed during the
+// DBSCAN run.
+func scorReps(pts []geom.Point, res *dbscan.Result) []model.Representative {
+	var reps []model.Representative
+	for _, id := range sortedClusterIDs(res) {
+		for _, s := range res.Scor[id] {
+			reps = append(reps, model.Representative{
+				Point:        pts[s].Clone(),
+				Eps:          res.SpecificEps[s],
+				LocalCluster: id,
+			})
+		}
+	}
+	return reps
+}
+
+// kmeansReps builds the REP_kMeans local model (Section 5.2): for every
+// cluster C, k-means with k = |Scor_C| seeded by the specific core points
+// refines the representatives to centroids; each centroid's ε-range is the
+// maximum distance of its assigned objects.
+func kmeansReps(pts []geom.Point, res *dbscan.Result, maxIter int) ([]model.Representative, error) {
+	var reps []model.Representative
+	for _, id := range sortedClusterIDs(res) {
+		members := res.Labels.Members(id)
+		memberPts := make([]geom.Point, len(members))
+		for i, m := range members {
+			memberPts[i] = pts[m]
+		}
+		seeds := make([]geom.Point, len(res.Scor[id]))
+		for i, s := range res.Scor[id] {
+			seeds[i] = pts[s]
+		}
+		km, err := kmeans.Lloyd(memberPts, seeds, maxIter)
+		if err != nil {
+			return nil, err
+		}
+		// ε_{c_ij} = max{dist(o, c_ij) | o ∈ O_ij} (Definition in 5.2).
+		eps := make([]float64, len(km.Centroids))
+		e := geom.Euclidean{}
+		for i, p := range memberPts {
+			c := km.Assign[i]
+			if d := e.Distance(p, km.Centroids[c]); d > eps[c] {
+				eps[c] = d
+			}
+		}
+		for j, c := range km.Centroids {
+			if eps[j] == 0 {
+				// A centroid coinciding with its single assigned object
+				// still represents that object; give it a minimal positive
+				// validity area so the model stays well-formed.
+				eps[j] = res.Params.Eps
+			}
+			reps = append(reps, model.Representative{
+				Point:        c.Clone(),
+				Eps:          eps[j],
+				LocalCluster: id,
+			})
+		}
+	}
+	return reps, nil
+}
+
+func sortedClusterIDs(res *dbscan.Result) []cluster.ID {
+	return res.Labels.ClusterIDs()
+}

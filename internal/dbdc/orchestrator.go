@@ -1,0 +1,201 @@
+package dbdc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// Site is one participant of the distributed clustering: an id and the
+// objects residing there.
+type Site struct {
+	ID     string
+	Points []geom.Point
+}
+
+// SiteResult is the per-site outcome of a DBDC run.
+type SiteResult struct {
+	// Outcome is the site's local clustering and model.
+	Outcome *LocalOutcome
+	// Labels is the site's final labeling with global cluster ids.
+	Labels cluster.Labeling
+	// Stats summarises how relabeling changed the local clustering.
+	Stats RelabelStats
+	// LocalDuration and RelabelDuration are the site-side wall-clock costs.
+	LocalDuration   time.Duration
+	RelabelDuration time.Duration
+	// UplinkBytes is the wire size of the transmitted local model;
+	// DownlinkBytes of the received global model.
+	UplinkBytes   int
+	DownlinkBytes int
+}
+
+// Result is the outcome of a full DBDC run.
+type Result struct {
+	Config Config
+	// Global is the server-side model.
+	Global *model.GlobalModel
+	// Sites holds the per-site results keyed by site id.
+	Sites map[string]*SiteResult
+	// GlobalDuration is the server-side clustering cost.
+	GlobalDuration time.Duration
+	// Wall is the total wall-clock duration of the concurrent run.
+	Wall time.Duration
+}
+
+// DistributedDuration reports the runtime measure of the paper's
+// experiments: the maximum local cost over all sites (they run in
+// parallel in a real deployment) plus the server-side cost.
+func (r *Result) DistributedDuration() time.Duration {
+	var maxLocal time.Duration
+	for _, s := range r.Sites {
+		local := s.LocalDuration + s.RelabelDuration
+		if local > maxLocal {
+			maxLocal = local
+		}
+	}
+	return maxLocal + r.GlobalDuration
+}
+
+// TotalWork reports the summed computation over all sites plus the server:
+// the cost of running DBDC on a single machine. Comparing it against a
+// central run shows the overhead distribution adds — the paper's
+// observation that for small data sets DBDC is "slightly slower" while the
+// overhead stays "almost negligible".
+func (r *Result) TotalWork() time.Duration {
+	total := r.GlobalDuration
+	for _, s := range r.Sites {
+		total += s.LocalDuration + s.RelabelDuration
+	}
+	return total
+}
+
+// TotalRepresentatives returns the number of representatives across all
+// sites (the "number of local repr." column of Figure 10).
+func (r *Result) TotalRepresentatives() int {
+	n := 0
+	for _, s := range r.Sites {
+		n += len(s.Outcome.Model.Reps)
+	}
+	return n
+}
+
+// TotalObjects returns the number of objects across all sites.
+func (r *Result) TotalObjects() int {
+	n := 0
+	for _, s := range r.Sites {
+		n += len(s.Outcome.Points)
+	}
+	return n
+}
+
+// Run executes the four DBDC steps over the given sites inside one process,
+// with every site working in its own goroutine — the in-process analogue of
+// the client/server deployment in the transport package. Deterministic
+// given the same sites and config.
+func Run(sites []Site, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("dbdc: no sites")
+	}
+	seen := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		if s.ID == "" {
+			return nil, fmt.Errorf("dbdc: site with empty id")
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("dbdc: duplicate site id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	start := time.Now()
+	res := &Result{Config: cfg, Sites: make(map[string]*SiteResult, len(sites))}
+
+	// Step 1+2: local clustering and model determination, one goroutine per
+	// site.
+	type localReply struct {
+		site    int
+		outcome *LocalOutcome
+		dur     time.Duration
+		err     error
+	}
+	replies := make([]localReply, len(sites))
+	runLocal := func(i int, s Site) {
+		t0 := time.Now()
+		outcome, err := LocalStep(s.ID, s.Points, cfg)
+		replies[i] = localReply{site: i, outcome: outcome, dur: time.Since(t0), err: err}
+	}
+	if cfg.Sequential {
+		for i, s := range sites {
+			runLocal(i, s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, s := range sites {
+			wg.Add(1)
+			go func(i int, s Site) {
+				defer wg.Done()
+				runLocal(i, s)
+			}(i, s)
+		}
+		wg.Wait()
+	}
+	models := make([]*model.LocalModel, 0, len(sites))
+	for _, r := range replies {
+		if r.err != nil {
+			return nil, r.err
+		}
+		res.Sites[sites[r.site].ID] = &SiteResult{
+			Outcome:       r.outcome,
+			LocalDuration: r.dur,
+			UplinkBytes:   r.outcome.Model.EncodedSize(),
+		}
+		models = append(models, r.outcome.Model)
+	}
+	// Keep server-side processing order deterministic.
+	sort.Slice(models, func(i, j int) bool { return models[i].SiteID < models[j].SiteID })
+
+	// Step 3: global model.
+	t0 := time.Now()
+	global, err := GlobalStep(models, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.GlobalDuration = time.Since(t0)
+	res.Global = global
+	downlink := global.EncodedSize()
+
+	// Step 4: relabeling, concurrent per site unless Sequential.
+	runRelabel := func(sr *SiteResult) {
+		t := time.Now()
+		labels, stats := RelabelSite(sr.Outcome, global)
+		sr.Labels = labels
+		sr.Stats = stats
+		sr.RelabelDuration = time.Since(t)
+		sr.DownlinkBytes = downlink
+	}
+	if cfg.Sequential {
+		for _, sr := range res.Sites {
+			runRelabel(sr)
+		}
+	} else {
+		var rwg sync.WaitGroup
+		for _, sr := range res.Sites {
+			rwg.Add(1)
+			go func(sr *SiteResult) {
+				defer rwg.Done()
+				runRelabel(sr)
+			}(sr)
+		}
+		rwg.Wait()
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package dbdc
+
+import (
+	"math"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// Relabel performs step 4 of DBDC on one site: every local object o that
+// lies within the ε_r-range of a representative r of the global model is
+// assigned r's global cluster id (Section 7). When several representatives
+// cover o, the nearest one wins, which makes the relabeling deterministic.
+// Objects covered by no representative stay noise. Through this rule two
+// formerly independent local clusters merge when their representatives
+// share a global cluster, and former local noise joins global clusters it
+// is close enough to — including clusters discovered only on other sites.
+func Relabel(pts []geom.Point, global *model.GlobalModel) cluster.Labeling {
+	labels := cluster.NewLabeling(len(pts))
+	for i := range labels {
+		labels[i] = cluster.Noise
+	}
+	if len(global.Reps) == 0 || len(pts) == 0 {
+		return labels
+	}
+	// Representatives have individual radii; query a kd-tree over the
+	// representative points with the maximum radius, then verify each
+	// candidate's own ε_r. The representative count is small, so the tree
+	// is cheap to build and each query local.
+	repPts := make([]geom.Point, len(global.Reps))
+	var maxEps float64
+	for i, r := range global.Reps {
+		repPts[i] = r.Point
+		if r.Eps > maxEps {
+			maxEps = r.Eps
+		}
+	}
+	tree, err := index.NewKDTree(repPts, geom.Euclidean{})
+	if err != nil {
+		// Mixed-dimensionality representatives: fall back to noise-only
+		// labeling; GlobalStep validation makes this unreachable.
+		return labels
+	}
+	e := geom.Euclidean{}
+	for i, p := range pts {
+		best := cluster.Noise
+		bestDist := math.Inf(1)
+		for _, ri := range tree.Range(p, maxEps) {
+			r := &global.Reps[ri]
+			if d := e.Distance(p, r.Point); d <= r.Eps && d < bestDist {
+				best, bestDist = r.GlobalCluster, d
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+// RelabelOutcome applies Relabel to a LocalOutcome and additionally reports
+// how the site's own clustering changed: how many local clusters were
+// merged into larger global ones and how many former noise objects joined a
+// cluster. The counts drive the "transmit a new local model only when the
+// clustering changed considerably" policy of incremental DBDC.
+type RelabelStats struct {
+	// NoiseAdopted counts local noise objects that joined a global cluster.
+	NoiseAdopted int
+	// LocalClustersMerged counts local clusters that share their global
+	// cluster with at least one other local cluster of the same site.
+	LocalClustersMerged int
+}
+
+// RelabelSite relabels the site's objects and derives the change
+// statistics.
+func RelabelSite(outcome *LocalOutcome, global *model.GlobalModel) (cluster.Labeling, RelabelStats) {
+	labels := Relabel(outcome.Points, global)
+	var stats RelabelStats
+	for i := range labels {
+		if outcome.Clustering.Labels[i] == cluster.Noise && labels[i] != cluster.Noise {
+			stats.NoiseAdopted++
+		}
+	}
+	// Count local clusters whose global id is shared with another local
+	// cluster. The mapping goes through this site's representatives.
+	globalOf := make(map[cluster.ID]map[cluster.ID]bool) // global -> set of local
+	for _, r := range global.Reps {
+		if r.SiteID != outcome.SiteID {
+			continue
+		}
+		if globalOf[r.GlobalCluster] == nil {
+			globalOf[r.GlobalCluster] = make(map[cluster.ID]bool)
+		}
+		globalOf[r.GlobalCluster][r.LocalCluster] = true
+	}
+	for _, locals := range globalOf {
+		if len(locals) > 1 {
+			stats.LocalClustersMerged += len(locals)
+		}
+	}
+	return labels, stats
+}

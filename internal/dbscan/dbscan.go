@@ -1,0 +1,194 @@
+// Package dbscan implements the density-based clustering algorithm DBSCAN
+// (Ester, Kriegel, Sander, Xu — KDD 1996) over any neighborhood index, plus
+// the enhancement Section 4 of the DBDC paper describes: the complete set of
+// specific core points (Definition 6) and their specific ε-ranges
+// (Definition 7) are extracted during the clustering run, so a local site
+// can derive its local model without a second pass over the data.
+package dbscan
+
+import (
+	"fmt"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+)
+
+// Params are the two DBSCAN parameters: the neighborhood radius Eps and the
+// density threshold MinPts (the minimum cardinality of N_Eps(p), including p
+// itself, for p to be a core object).
+type Params struct {
+	Eps    float64
+	MinPts int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Eps <= 0 {
+		return fmt.Errorf("dbscan: Eps must be positive, got %v", p.Eps)
+	}
+	if p.MinPts < 1 {
+		return fmt.Errorf("dbscan: MinPts must be at least 1, got %d", p.MinPts)
+	}
+	return nil
+}
+
+// Options tune a DBSCAN run beyond the algorithmic parameters.
+type Options struct {
+	// CollectSpecificCores enables the DBDC enhancement: specific core
+	// points are selected greedily in processing order during the run and
+	// their ε-ranges computed afterwards.
+	CollectSpecificCores bool
+}
+
+// Result holds the outcome of a DBSCAN run.
+type Result struct {
+	Params Params
+	// Labels assigns each object its cluster id or noise.
+	Labels cluster.Labeling
+	// Core marks the core objects (|N_Eps(p)| >= MinPts).
+	Core []bool
+	// Scor holds, per cluster, the complete set of specific core points in
+	// selection order (object indexes). Populated only when
+	// Options.CollectSpecificCores was set.
+	Scor map[cluster.ID][]int
+	// SpecificEps maps each specific core point (by object index) to its
+	// specific ε-range ε_s (Definition 7). Populated with Scor.
+	SpecificEps map[int]float64
+	// RangeQueries counts the region queries issued — the dominant cost of
+	// DBSCAN and the quantity its complexity analysis is stated in.
+	RangeQueries int
+}
+
+// NumClusters returns the number of clusters found.
+func (r *Result) NumClusters() int { return r.Labels.NumClusters() }
+
+// IsBorder reports whether object i is a border object: assigned to a
+// cluster but not core.
+func (r *Result) IsBorder(i int) bool { return r.Labels[i] >= 0 && !r.Core[i] }
+
+// Run clusters the points held by idx. The index supplies both the data and
+// the metric, exactly like the R*-tree underneath the original DBSCAN.
+func Run(idx index.Index, params Params, opts Options) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := idx.Len()
+	res := &Result{
+		Params: params,
+		Labels: cluster.NewLabeling(n),
+		Core:   make([]bool, n),
+	}
+	if opts.CollectSpecificCores {
+		res.Scor = make(map[cluster.ID][]int)
+		res.SpecificEps = make(map[int]float64)
+	}
+	metric := idx.Metric()
+	var clusterID cluster.ID
+	// seeds and nbuf are reused across queries to avoid per-object
+	// allocations; every query result is fully consumed before the next
+	// query overwrites the buffer.
+	var seeds, nbuf []int
+	for i := 0; i < n; i++ {
+		if res.Labels[i] != cluster.Unclassified {
+			continue
+		}
+		neighbors := index.RangeInto(idx, idx.Point(i), params.Eps, nbuf)
+		nbuf = neighbors
+		res.RangeQueries++
+		if len(neighbors) < params.MinPts {
+			res.Labels[i] = cluster.Noise
+			continue
+		}
+		// i is a core object: it starts a new cluster and, being the first
+		// core point processed for this cluster, is always a specific core
+		// point.
+		res.Core[i] = true
+		res.Labels[i] = clusterID
+		if opts.CollectSpecificCores {
+			res.Scor[clusterID] = append(res.Scor[clusterID], i)
+		}
+		seeds = seeds[:0]
+		for _, q := range neighbors {
+			if q == i {
+				continue
+			}
+			switch res.Labels[q] {
+			case cluster.Unclassified:
+				res.Labels[q] = clusterID
+				seeds = append(seeds, q)
+			case cluster.Noise:
+				// Former noise in reach of a core object becomes a border
+				// object of this cluster.
+				res.Labels[q] = clusterID
+			}
+		}
+		for len(seeds) > 0 {
+			q := seeds[len(seeds)-1]
+			seeds = seeds[:len(seeds)-1]
+			qNeighbors := index.RangeInto(idx, idx.Point(q), params.Eps, nbuf)
+			nbuf = qNeighbors
+			res.RangeQueries++
+			if len(qNeighbors) < params.MinPts {
+				continue // q is a border object
+			}
+			res.Core[q] = true
+			if opts.CollectSpecificCores {
+				res.maybeAddSpecificCore(idx, metric, clusterID, q)
+			}
+			for _, r := range qNeighbors {
+				switch res.Labels[r] {
+				case cluster.Unclassified:
+					res.Labels[r] = clusterID
+					seeds = append(seeds, r)
+				case cluster.Noise:
+					res.Labels[r] = clusterID
+				}
+			}
+		}
+		clusterID++
+	}
+	if opts.CollectSpecificCores {
+		res.computeSpecificEps(idx, metric)
+	}
+	return res, nil
+}
+
+// maybeAddSpecificCore applies the greedy Definition 6 selection: a freshly
+// identified core point joins Scor of its cluster unless it already lies in
+// the Eps-neighborhood of a previously selected specific core point. Every
+// core point is either selected or covered at the moment it is processed, so
+// condition 3 of Definition 6 (complete coverage of Cor) holds by
+// construction.
+func (r *Result) maybeAddSpecificCore(idx index.Index, metric geom.Metric, id cluster.ID, q int) {
+	qp := idx.Point(q)
+	for _, s := range r.Scor[id] {
+		if metric.Distance(idx.Point(s), qp) <= r.Params.Eps {
+			return
+		}
+	}
+	r.Scor[id] = append(r.Scor[id], q)
+}
+
+// computeSpecificEps evaluates Definition 7 for every selected specific core
+// point: ε_s = Eps + max{dist(s, s_i) | s_i ∈ Cor ∧ s_i ∈ N_Eps(s)}. When no
+// other core point lies in the neighborhood the maximum is empty and
+// ε_s = Eps.
+func (r *Result) computeSpecificEps(idx index.Index, metric geom.Metric) {
+	for _, scor := range r.Scor {
+		for _, s := range scor {
+			sp := idx.Point(s)
+			var maxDist float64
+			r.RangeQueries++
+			for _, ni := range idx.Range(sp, r.Params.Eps) {
+				if ni == s || !r.Core[ni] {
+					continue
+				}
+				if d := metric.Distance(sp, idx.Point(ni)); d > maxDist {
+					maxDist = d
+				}
+			}
+			r.SpecificEps[s] = r.Params.Eps + maxDist
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package dbscan
+
+import (
+	"sort"
+
+	"github.com/dbdc-go/dbdc/internal/index"
+)
+
+// KDist computes the sorted k-dist graph of Ester et al. (1996), the
+// standard heuristic for choosing Eps: for every object the distance to its
+// k-th nearest neighbor (excluding the object itself) is computed and the
+// distances are returned in descending order. The "valley" of this curve is
+// a good Eps for MinPts = k+1.
+func KDist(idx index.KNNIndex, k int) []float64 {
+	n := idx.Len()
+	metric := idx.Metric()
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p := idx.Point(i)
+		// k+1 because the query point itself is its own nearest neighbor.
+		nn := idx.KNN(p, k+1)
+		if len(nn) <= k {
+			continue // fewer than k other points exist
+		}
+		out = append(out, metric.Distance(p, idx.Point(nn[k])))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// SuggestEps returns a heuristic Eps for the given MinPts: the k-dist value
+// at the given noise percentile (e.g. 0.02 assumes ~2% noise). This mirrors
+// how the DBSCAN authors recommend reading the k-dist plot.
+func SuggestEps(idx index.KNNIndex, minPts int, noiseFraction float64) float64 {
+	if noiseFraction < 0 {
+		noiseFraction = 0
+	}
+	if noiseFraction > 1 {
+		noiseFraction = 1
+	}
+	dists := KDist(idx, minPts-1)
+	if len(dists) == 0 {
+		return 0
+	}
+	pos := int(noiseFraction * float64(len(dists)))
+	if pos >= len(dists) {
+		pos = len(dists) - 1
+	}
+	return dists[pos]
+}

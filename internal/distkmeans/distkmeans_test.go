@@ -1,0 +1,143 @@
+package distkmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/kmeans"
+)
+
+func blobs(rng *rand.Rand, centers []geom.Point, perBlob int, spread float64) []geom.Point {
+	var pts []geom.Point
+	for _, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			p := make(geom.Point, len(c))
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func split(pts []geom.Point, k int) [][]geom.Point {
+	sites := make([][]geom.Point, k)
+	for i, p := range pts {
+		sites[i%k] = append(sites[i%k], p)
+	}
+	return sites
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Run(nil, 0, rng, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run([][]geom.Point{{{0, 0}}}, 5, rng, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := RunFrom(nil, nil, 0); err == nil {
+		t.Error("no centroids accepted")
+	}
+	if _, err := RunFrom([][]geom.Point{{{0, 0}}}, []geom.Point{{0}, {0, 0}}, 0); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// The headline property of reference [5]: the distributed reduction
+// computes exactly what central Lloyd computes from the same start.
+func TestMatchesCentralLloyd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	centers := []geom.Point{{0, 0}, {10, 0}, {5, 9}}
+	pts := blobs(rng, centers, 120, 0.8)
+	initial, err := kmeans.PlusPlusInit(pts, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centralRes, err := kmeans.Lloyd(pts, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, numSites := range []int{1, 2, 5} {
+		sites := split(pts, numSites)
+		distRes, err := RunFrom(sites, initial, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !distRes.Converged {
+			t.Fatalf("sites=%d: did not converge", numSites)
+		}
+		for j := range centralRes.Centroids {
+			if (geom.Euclidean{}).Distance(centralRes.Centroids[j], distRes.Centroids[j]) > 1e-9 {
+				t.Fatalf("sites=%d: centroid %d differs: %v vs %v",
+					numSites, j, distRes.Centroids[j], centralRes.Centroids[j])
+			}
+		}
+		if math.Abs(centralRes.SSQ-distRes.SSQ) > 1e-6*(1+centralRes.SSQ) {
+			t.Fatalf("sites=%d: SSQ differs: %v vs %v", numSites, distRes.SSQ, centralRes.SSQ)
+		}
+		// Assignments agree in site-split order.
+		idx := 0
+		for s := range sites {
+			for i := range sites[s] {
+				// sites were filled round-robin: reconstruct original index.
+				orig := i*numSites + s
+				_ = idx
+				if centralRes.Assign[orig] != distRes.Assign[s][i] {
+					t.Fatalf("sites=%d: assignment of object %d differs", numSites, orig)
+				}
+			}
+		}
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := blobs(rng, []geom.Point{{0, 0}, {8, 8}}, 100, 0.5)
+	sites := split(pts, 4)
+	res, err := Run(sites, 2, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesPerRound <= 0 || res.Rounds < 1 {
+		t.Fatalf("bad accounting: %d bytes/round, %d rounds", res.BytesPerRound, res.Rounds)
+	}
+	if res.BytesExchanged() != res.BytesPerRound*res.Rounds {
+		t.Fatal("BytesExchanged inconsistent")
+	}
+	// Down: 4 sites × 2 centroids × 2 dims × 8B; up: 4 × (2×2×8 + 2×8).
+	want := 4*2*2*8 + 4*(2*2*8+2*8)
+	if res.BytesPerRound != want {
+		t.Fatalf("BytesPerRound = %d, want %d", res.BytesPerRound, want)
+	}
+}
+
+func TestEmptySitesTolerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := blobs(rng, []geom.Point{{0, 0}, {6, 6}}, 50, 0.4)
+	sites := [][]geom.Point{nil, pts, nil}
+	res, err := Run(sites, 2, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 || !res.Converged {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestStrandedCentroidStaysFinite(t *testing.T) {
+	// Second centroid starts far away and captures nothing.
+	pts := []geom.Point{{0, 0}, {0.1, 0}, {0.2, 0}}
+	res, err := RunFrom([][]geom.Point{pts}, []geom.Point{{0, 0}, {1e6, 1e6}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centroids {
+		if !c.IsFinite() {
+			t.Fatalf("non-finite centroid %v", c)
+		}
+	}
+}

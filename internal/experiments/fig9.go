@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// Fig9 reproduces Figures 9a and 9b: the quality Q_DBDC of both local
+// models under P^I (9a) and P^II (9b) as Eps_global sweeps multiples of
+// Eps_local. The paper's findings: P^I stays flat and high regardless of
+// the factor (which disqualifies it), while P^II peaks around
+// 2·Eps_local and degrades at the extremes.
+func Fig9(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	ds := data.DatasetA(opt.scaled(data.DatasetASize), opt.Seed)
+	central, _, err := runCentral(ds, opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig9",
+		Title: "quality vs Eps_global factor (9a: P^I, 9b: P^II)",
+		Columns: []string{"eps_global/eps_local",
+			"P^I(kmeans)", "P^I(scor)", "P^II(kmeans)", "P^II(scor)"},
+	}
+	for _, factor := range []float64{1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0} {
+		row := []string{fmt.Sprintf("%.1f", factor)}
+		var pis, piis []string
+		for _, kind := range []model.Kind{model.RepKMeans, model.RepScor} {
+			res, err := runDBDC(ds, fig7Sites, kind, factor*ds.Params.Eps, opt)
+			if err != nil {
+				return nil, err
+			}
+			pi, pii, err := qualities(res.distributed, central.Labels, ds.Params.MinPts)
+			if err != nil {
+				return nil, err
+			}
+			pis = append(pis, pct(pi))
+			piis = append(piis, pct(pii))
+		}
+		row = append(row, pis...)
+		row = append(row, piis...)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("dataset A analogue, %d sites, qp = MinPts = %d", fig7Sites, ds.Params.MinPts),
+		"paper: P^I flat (unsuitable); P^II peaks near factor 2 and worsens at the extremes",
+		"the high-factor collapse sets in once Eps_global bridges distinct clusters (factor ~6 for this geometry)")
+	return t, nil
+}

@@ -1,0 +1,132 @@
+// Package geom provides the geometric primitives used throughout the DBDC
+// implementation: points of arbitrary dimensionality, distance metrics, and
+// axis-aligned bounding boxes.
+//
+// Points are plain float64 slices so that data sets can be loaded directly
+// from CSV files and shipped across the wire without conversion. All
+// functions treat points as immutable; callers that mutate a point after
+// handing it to an index invalidate that index.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Point is a position in a d-dimensional vector space.
+type Point []float64
+
+// Dim returns the dimensionality of the point.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns the component-wise sum p + q. Both points must have the same
+// dimensionality.
+func (p Point) Add(q Point) Point {
+	mustSameDim(p, q)
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] + q[i]
+	}
+	return r
+}
+
+// Sub returns the component-wise difference p - q.
+func (p Point) Sub(q Point) Point {
+	mustSameDim(p, q)
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] - q[i]
+	}
+	return r
+}
+
+// Scale returns p scaled by the factor s.
+func (p Point) Scale(s float64) Point {
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] * s
+	}
+	return r
+}
+
+// Norm returns the Euclidean length of p interpreted as a vector.
+func (p Point) Norm() float64 {
+	var sum float64
+	for _, v := range p {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// IsFinite reports whether every coordinate is a finite number (no NaN, no
+// infinities). Indexes and clustering algorithms require finite input.
+func (p Point) IsFinite() bool {
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the point as "(x1, x2, ...)" with compact float formatting.
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Centroid returns the arithmetic mean of the given points. It panics if the
+// slice is empty or the points disagree on dimensionality.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		panic("geom: Centroid of empty point set")
+	}
+	c := make(Point, len(pts[0]))
+	for _, p := range pts {
+		mustSameDim(c, p)
+		for i, v := range p {
+			c[i] += v
+		}
+	}
+	inv := 1 / float64(len(pts))
+	for i := range c {
+		c[i] *= inv
+	}
+	return c
+}
+
+func mustSameDim(p, q Point) {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geom: dimensionality mismatch: %d vs %d", len(p), len(q)))
+	}
+}

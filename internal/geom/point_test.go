@@ -1,0 +1,173 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDim(t *testing.T) {
+	if got := (Point{1, 2, 3}).Dim(); got != 3 {
+		t.Fatalf("Dim() = %d, want 3", got)
+	}
+	if got := (Point{}).Dim(); got != 0 {
+		t.Fatalf("Dim() = %d, want 0", got)
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone must not share backing storage")
+	}
+	if !p.Equal(Point{1, 2}) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},
+		{Point{1, 2}, Point{2, 1}, false},
+		{Point{1, 2}, Point{1, 2, 3}, false},
+		{Point{}, Point{}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Equal(c.q); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); !got.Equal(Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Equal(Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Equal(Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestPointDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Point{1}.Add(Point{1, 2})
+}
+
+func TestPointIsFinite(t *testing.T) {
+	if !(Point{1, 2}).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if (Point{1, math.NaN()}).IsFinite() {
+		t.Error("NaN point reported finite")
+	}
+	if (Point{math.Inf(1)}).IsFinite() {
+		t.Error("Inf point reported finite")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2.5}).String(); got != "(1, 2.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {1, 3}}
+	c := Centroid(pts)
+	if !c.Equal(Point{1, 1}) {
+		t.Errorf("Centroid = %v, want (1, 1)", c)
+	}
+}
+
+func TestCentroidSinglePoint(t *testing.T) {
+	c := Centroid([]Point{{7, -3}})
+	if !c.Equal(Point{7, -3}) {
+		t.Errorf("Centroid = %v", c)
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty centroid")
+		}
+	}()
+	Centroid(nil)
+}
+
+func randomPoint(rng *rand.Rand, dim int) Point {
+	p := make(Point, dim)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 10
+	}
+	return p
+}
+
+// Property: the centroid minimises the summed squared Euclidean distance, so
+// perturbing it in any direction never decreases the sum.
+func TestCentroidMinimisesSSQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(20)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = randomPoint(rng, 3)
+		}
+		c := Centroid(pts)
+		ssq := func(q Point) float64 {
+			var s float64
+			for _, p := range pts {
+				s += SquaredEuclidean(p, q)
+			}
+			return s
+		}
+		base := ssq(c)
+		perturbed := c.Add(randomPoint(rng, 3).Scale(0.1))
+		if ssq(perturbed) < base-1e-9 {
+			t.Fatalf("perturbed centroid has lower SSQ: %v < %v", ssq(perturbed), base)
+		}
+	}
+}
+
+// Property: Add and Sub are inverse operations up to floating-point error.
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		p, q := Point(a[:]), Point(b[:])
+		if !p.IsFinite() || !q.IsFinite() {
+			return true
+		}
+		r := p.Add(q).Sub(q)
+		if !r.IsFinite() {
+			return true // overflowed intermediate; nothing to check
+		}
+		for i := range p {
+			tol := 1e-9 * (math.Abs(p[i]) + math.Abs(q[i]) + 1)
+			if math.Abs(r[i]-p[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package incdbscan
+
+import (
+	"fmt"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+)
+
+// Delete removes object i from the clustering (the deletion case of Ester
+// et al. 1998). Removing an object can demote neighbors from core to
+// non-core, which in turn can shrink, split or dissolve clusters. Only the
+// clusters of the lost cores (and of i itself, when i was core) can
+// change, so the update re-expands exactly those clusters:
+//
+//  1. update the cached neighborhood cardinalities and core flags,
+//  2. reset the members of every affected cluster,
+//  3. re-run the DBSCAN expansion over that subset (fresh cluster ids),
+//  4. objects left unreached become border objects of a neighboring
+//     unaffected cluster if one covers them, otherwise noise.
+//
+// Deleted objects keep their index; Labels reports them as Noise and
+// IsDeleted tells them apart from genuine noise.
+func (c *Clusterer) Delete(i int) error {
+	if i < 0 || i >= len(c.labels) {
+		return fmt.Errorf("incdbscan: delete of unknown object %d", i)
+	}
+	if c.IsDeleted(i) {
+		return fmt.Errorf("incdbscan: object %d already deleted", i)
+	}
+	p := c.tree.Point(i)
+	neighbors := c.tree.Range(p, c.params.Eps) // includes i, pre-deletion
+	if err := c.tree.Delete(i); err != nil {
+		return err
+	}
+	if c.deleted == nil {
+		c.deleted = make([]bool, len(c.labels))
+	}
+	for len(c.deleted) < len(c.labels) {
+		c.deleted = append(c.deleted, false)
+	}
+	c.deleted[i] = true
+
+	affected := make(map[cluster.ID]bool)
+	if c.core[i] {
+		// Removing a core object can split its own cluster even when no
+		// other object loses the core property.
+		if id := c.find(c.labels[i]); id >= 0 {
+			affected[id] = true
+		}
+	}
+	c.core[i] = false
+	for _, q := range neighbors {
+		if q == i {
+			continue
+		}
+		c.count[q]--
+		if c.core[q] && c.count[q] == c.params.MinPts-1 {
+			c.core[q] = false
+			if id := c.find(c.labels[q]); id >= 0 {
+				affected[id] = true
+			}
+		}
+	}
+	c.labels[i] = cluster.Noise
+	if len(affected) == 0 {
+		return nil
+	}
+	// Reset the members of the affected clusters.
+	var members []int
+	for j := range c.labels {
+		if c.deleted[j] {
+			continue
+		}
+		if id := c.find(c.labels[j]); id >= 0 && affected[id] {
+			members = append(members, j)
+			c.labels[j] = cluster.Unclassified
+		}
+	}
+	// Re-expand from the surviving core objects of the subset. Cores of
+	// unaffected clusters cannot be density-connected to these (otherwise
+	// the clusters would have been one before the deletion), so the
+	// expansion stays within the subset.
+	var stack []int
+	for _, j := range members {
+		if c.labels[j] != cluster.Unclassified || !c.core[j] {
+			continue
+		}
+		id := c.newClusterID()
+		c.labels[j] = id
+		stack = append(stack[:0], j)
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, r := range c.tree.Range(c.tree.Point(q), c.params.Eps) {
+				if c.labels[r] != cluster.Unclassified {
+					continue
+				}
+				c.labels[r] = id
+				if c.core[r] {
+					stack = append(stack, r)
+				}
+			}
+		}
+	}
+	// Unreached members lost their own cluster; they become border objects
+	// of any other cluster whose core still covers them, or noise.
+	for _, j := range members {
+		if c.labels[j] != cluster.Unclassified {
+			continue
+		}
+		c.labels[j] = cluster.Noise
+		for _, r := range c.tree.Range(c.tree.Point(j), c.params.Eps) {
+			if r != j && c.core[r] {
+				c.labels[j] = c.find(c.labels[r])
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// IsDeleted reports whether object i was removed with Delete.
+func (c *Clusterer) IsDeleted(i int) bool {
+	return c.deleted != nil && i < len(c.deleted) && c.deleted[i]
+}
+
+// LiveCount returns the number of objects inserted and not deleted.
+func (c *Clusterer) LiveCount() int {
+	n := len(c.labels)
+	for _, d := range c.deleted {
+		if d {
+			n--
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package index
+
+import (
+	"errors"
+	"math"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Grid is a uniform-grid index. Points are hashed into cells of edge length
+// cellSize; an ε-range query with eps ≤ cellSize only needs to inspect the
+// 3^d cells surrounding the query point. Candidate distances are verified
+// with the configured metric, so the grid is exact for every Minkowski
+// metric (any metric where a per-coordinate difference lower-bounds the
+// distance).
+type Grid struct {
+	pts      []geom.Point
+	metric   geom.Metric
+	cellSize float64
+	dim      int
+	cells    map[string][]int
+	// origin anchors cell coordinates so negative coordinates hash stably.
+	origin geom.Point
+}
+
+// NewGrid builds a grid index with cells sized to the intended query radius
+// eps. Queries with a radius larger than eps remain correct but degrade
+// towards a full scan. eps must be positive and pts non-empty dimensions
+// must agree.
+func NewGrid(pts []geom.Point, metric geom.Metric, eps float64) (*Grid, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, errors.New("index: grid cell size must be a positive finite number")
+	}
+	if metric == nil {
+		metric = geom.Euclidean{}
+	}
+	g := &Grid{
+		pts:      pts,
+		metric:   metric,
+		cellSize: eps,
+		cells:    make(map[string][]int),
+	}
+	if len(pts) > 0 {
+		g.dim = pts[0].Dim()
+		g.origin = pts[0].Clone()
+		for i, p := range pts {
+			if p.Dim() != g.dim {
+				return nil, errors.New("index: grid requires uniform dimensionality")
+			}
+			key := g.cellKey(g.cellCoords(p))
+			g.cells[key] = append(g.cells[key], i)
+		}
+	}
+	return g, nil
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Point implements Index.
+func (g *Grid) Point(i int) geom.Point { return g.pts[i] }
+
+// Metric implements Index.
+func (g *Grid) Metric() geom.Metric { return g.metric }
+
+// CellCount returns the number of non-empty grid cells (exposed for tests
+// and diagnostics).
+func (g *Grid) CellCount() int { return len(g.cells) }
+
+func (g *Grid) cellCoords(p geom.Point) []int64 {
+	c := make([]int64, g.dim)
+	for i := 0; i < g.dim; i++ {
+		c[i] = int64(math.Floor((p[i] - g.origin[i]) / g.cellSize))
+	}
+	return c
+}
+
+// cellKey encodes cell coordinates into a compact string map key.
+func (g *Grid) cellKey(coords []int64) string {
+	buf := make([]byte, 0, len(coords)*8)
+	for _, c := range coords {
+		u := uint64(c)
+		buf = append(buf,
+			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(buf)
+}
+
+// Range implements Index.
+func (g *Grid) Range(q geom.Point, eps float64) []int {
+	return g.RangeAppend(q, eps, nil)
+}
+
+// RangeAppend implements RangeAppender.
+func (g *Grid) RangeAppend(q geom.Point, eps float64, buf []int) []int {
+	out := buf[:0]
+	if len(g.pts) == 0 {
+		return out
+	}
+	// A point within eps of q differs by at most eps per coordinate, hence
+	// lies within reach cells of q's cell in every dimension.
+	reach := int64(math.Ceil(eps / g.cellSize))
+	center := g.cellCoords(q)
+	coords := make([]int64, g.dim)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == g.dim {
+			for _, i := range g.cells[g.cellKey(coords)] {
+				if g.metric.Distance(q, g.pts[i]) <= eps {
+					out = append(out, i)
+				}
+			}
+			return
+		}
+		for off := -reach; off <= reach; off++ {
+			coords[d] = center[d] + off
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}

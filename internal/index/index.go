@@ -1,0 +1,103 @@
+// Package index provides neighborhood indexes over a fixed set of points.
+// DBSCAN and the DBDC pipeline retrieve ε-neighborhoods exclusively through
+// the Index interface, so the access method (linear scan, grid, kd-tree,
+// R*-tree, M-tree) is interchangeable; the paper's DBSCAN uses an R*-tree
+// for vector data and an M-tree for general metric data.
+package index
+
+import (
+	"fmt"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Index answers ε-range queries over a fixed point set. Implementations are
+// safe for concurrent readers after construction.
+type Index interface {
+	// Len returns the number of indexed points.
+	Len() int
+	// Point returns the i-th indexed point. Callers must not mutate it.
+	Point(i int) geom.Point
+	// Range returns the indexes of all points within distance eps of q,
+	// boundary inclusive (the Eps-neighborhood N_Eps(q) of the paper,
+	// including q itself when q is an indexed point). Order is unspecified.
+	Range(q geom.Point, eps float64) []int
+	// Metric returns the distance function the index answers queries under.
+	Metric() geom.Metric
+}
+
+// RangeAppender is implemented by indexes that can write range results
+// into a caller-supplied buffer, letting tight loops (DBSCAN expansion)
+// avoid one allocation per query.
+type RangeAppender interface {
+	// RangeAppend behaves like Range but appends into buf after truncating
+	// it to zero length.
+	RangeAppend(q geom.Point, eps float64, buf []int) []int
+}
+
+// RangeInto performs a range query through idx, reusing buf when the index
+// supports it.
+func RangeInto(idx Index, q geom.Point, eps float64, buf []int) []int {
+	if ra, ok := idx.(RangeAppender); ok {
+		return ra.RangeAppend(q, eps, buf)
+	}
+	return idx.Range(q, eps)
+}
+
+// KNNIndex is implemented by indexes that additionally support k-nearest-
+// neighbor queries (used by the k-dist heuristic for choosing Eps).
+type KNNIndex interface {
+	Index
+	// KNN returns the indexes of the k points nearest to q in ascending
+	// distance order. Fewer are returned when the index holds fewer points.
+	KNN(q geom.Point, k int) []int
+}
+
+// Kind names a concrete index implementation.
+type Kind string
+
+// Available index kinds.
+const (
+	KindLinear Kind = "linear"
+	KindGrid   Kind = "grid"
+	KindKDTree Kind = "kdtree"
+	KindRStar  Kind = "rstar"
+	KindMTree  Kind = "mtree"
+)
+
+// Kinds lists every available index kind.
+func Kinds() []Kind {
+	return []Kind{KindLinear, KindGrid, KindKDTree, KindRStar, KindMTree}
+}
+
+// Builder constructs an index over the given points. Grid-based builders use
+// epsHint (the intended query radius) to size their cells; others ignore it.
+type Builder func(pts []geom.Point, metric geom.Metric, epsHint float64) (Index, error)
+
+var builders = map[Kind]Builder{}
+
+// RegisterBuilder installs the builder for a kind. The concrete index
+// packages (rstar, mtree) register themselves via their Install helpers to
+// avoid import cycles; the in-package indexes are registered at init.
+func RegisterBuilder(kind Kind, b Builder) { builders[kind] = b }
+
+// Build constructs an index of the requested kind.
+func Build(kind Kind, pts []geom.Point, metric geom.Metric, epsHint float64) (Index, error) {
+	b, ok := builders[kind]
+	if !ok {
+		return nil, fmt.Errorf("index: no builder registered for kind %q", kind)
+	}
+	return b(pts, metric, epsHint)
+}
+
+func init() {
+	RegisterBuilder(KindLinear, func(pts []geom.Point, m geom.Metric, _ float64) (Index, error) {
+		return NewLinear(pts, m), nil
+	})
+	RegisterBuilder(KindGrid, func(pts []geom.Point, m geom.Metric, eps float64) (Index, error) {
+		return NewGrid(pts, m, eps)
+	})
+	RegisterBuilder(KindKDTree, func(pts []geom.Point, m geom.Metric, _ float64) (Index, error) {
+		return NewKDTree(pts, m)
+	})
+}

@@ -1,0 +1,170 @@
+package index
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// KDTree is a static k-d tree built by median splits. Pruning uses only
+// per-axis coordinate differences, which lower-bound every Minkowski
+// distance, so the tree answers exact range and kNN queries for any Lp
+// metric.
+type KDTree struct {
+	pts    []geom.Point
+	metric geom.Metric
+	dim    int
+	nodes  []kdNode
+	root   int32
+}
+
+type kdNode struct {
+	idx         int32 // index into pts
+	axis        int8
+	left, right int32 // node slots, -1 for none
+}
+
+// NewKDTree builds a k-d tree over pts. The slice is retained, not copied.
+// A nil metric defaults to Euclidean.
+func NewKDTree(pts []geom.Point, metric geom.Metric) (*KDTree, error) {
+	if metric == nil {
+		metric = geom.Euclidean{}
+	}
+	t := &KDTree{pts: pts, metric: metric, root: -1}
+	if len(pts) == 0 {
+		return t, nil
+	}
+	t.dim = pts[0].Dim()
+	order := make([]int32, len(pts))
+	for i := range order {
+		if pts[i].Dim() != t.dim {
+			return nil, errors.New("index: kdtree requires uniform dimensionality")
+		}
+		order[i] = int32(i)
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(order, 0)
+	return t, nil
+}
+
+// build recursively partitions order around the median along the split axis
+// and returns the slot of the created node.
+func (t *KDTree) build(order []int32, depth int) int32 {
+	if len(order) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	sort.Slice(order, func(i, j int) bool {
+		return t.pts[order[i]][axis] < t.pts[order[j]][axis]
+	})
+	mid := len(order) / 2
+	slot := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{idx: order[mid], axis: int8(axis)})
+	left := t.build(order[:mid], depth+1)
+	right := t.build(order[mid+1:], depth+1)
+	t.nodes[slot].left = left
+	t.nodes[slot].right = right
+	return slot
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Point implements Index.
+func (t *KDTree) Point(i int) geom.Point { return t.pts[i] }
+
+// Metric implements Index.
+func (t *KDTree) Metric() geom.Metric { return t.metric }
+
+// Range implements Index.
+func (t *KDTree) Range(q geom.Point, eps float64) []int {
+	return t.RangeAppend(q, eps, nil)
+}
+
+// RangeAppend implements RangeAppender.
+func (t *KDTree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
+	out := buf[:0]
+	t.rangeSearch(t.root, q, eps, &out)
+	return out
+}
+
+func (t *KDTree) rangeSearch(slot int32, q geom.Point, eps float64, out *[]int) {
+	if slot < 0 {
+		return
+	}
+	n := &t.nodes[slot]
+	p := t.pts[n.idx]
+	if t.metric.Distance(q, p) <= eps {
+		*out = append(*out, int(n.idx))
+	}
+	diff := q[n.axis] - p[n.axis]
+	if diff <= eps {
+		t.rangeSearch(n.left, q, eps, out)
+	}
+	if -diff <= eps {
+		t.rangeSearch(n.right, q, eps, out)
+	}
+}
+
+// knnCand is a max-heap entry so the current worst candidate sits on top.
+type knnCand struct {
+	idx  int32
+	dist float64
+}
+
+type knnHeap []knnCand
+
+func (h knnHeap) Len() int            { return len(h) }
+func (h knnHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h knnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x interface{}) { *h = append(*h, x.(knnCand)) }
+func (h *knnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN implements KNNIndex.
+func (t *KDTree) KNN(q geom.Point, k int) []int {
+	if k <= 0 || len(t.pts) == 0 {
+		return nil
+	}
+	h := make(knnHeap, 0, k+1)
+	t.knnSearch(t.root, q, k, &h)
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = int(heap.Pop(&h).(knnCand).idx)
+	}
+	return out
+}
+
+func (t *KDTree) knnSearch(slot int32, q geom.Point, k int, h *knnHeap) {
+	if slot < 0 {
+		return
+	}
+	n := &t.nodes[slot]
+	p := t.pts[n.idx]
+	d := t.metric.Distance(q, p)
+	if h.Len() < k {
+		heap.Push(h, knnCand{n.idx, d})
+	} else if top := (*h)[0]; d < top.dist || (d == top.dist && n.idx < top.idx) {
+		(*h)[0] = knnCand{n.idx, d}
+		heap.Fix(h, 0)
+	}
+	diff := q[n.axis] - p[n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.knnSearch(near, q, k, h)
+	// The far subtree can only matter if the axis gap does not already
+	// exceed the current worst candidate distance.
+	if h.Len() < k || math.Abs(diff) <= (*h)[0].dist {
+		t.knnSearch(far, q, k, h)
+	}
+}

@@ -1,0 +1,79 @@
+package index
+
+import (
+	"sort"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Linear is the exhaustive-scan index: every query compares against every
+// point. It supports arbitrary metrics, has zero build cost, and serves as
+// the correctness oracle the tree indexes are property-tested against.
+type Linear struct {
+	pts    []geom.Point
+	metric geom.Metric
+}
+
+// NewLinear builds a linear index over pts. The point slice is retained, not
+// copied; callers must not mutate it afterwards. A nil metric defaults to
+// Euclidean.
+func NewLinear(pts []geom.Point, metric geom.Metric) *Linear {
+	if metric == nil {
+		metric = geom.Euclidean{}
+	}
+	return &Linear{pts: pts, metric: metric}
+}
+
+// Len implements Index.
+func (l *Linear) Len() int { return len(l.pts) }
+
+// Point implements Index.
+func (l *Linear) Point(i int) geom.Point { return l.pts[i] }
+
+// Metric implements Index.
+func (l *Linear) Metric() geom.Metric { return l.metric }
+
+// Range implements Index.
+func (l *Linear) Range(q geom.Point, eps float64) []int {
+	return l.RangeAppend(q, eps, nil)
+}
+
+// RangeAppend implements RangeAppender.
+func (l *Linear) RangeAppend(q geom.Point, eps float64, buf []int) []int {
+	out := buf[:0]
+	for i, p := range l.pts {
+		if l.metric.Distance(q, p) <= eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// KNN implements KNNIndex.
+func (l *Linear) KNN(q geom.Point, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(l.pts))
+	for i, p := range l.pts {
+		cands[i] = cand{i, l.metric.Distance(q, p)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

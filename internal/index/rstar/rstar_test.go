@@ -1,0 +1,368 @@
+package rstar
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 5
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// checkInvariants verifies the structural R*-tree invariants: every
+// non-root node holds between m and M entries, every routing rectangle
+// tightly bounds its subtree, all leaves sit at level 0, and every point is
+// reachable exactly once.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root == nil {
+		if tr.size != 0 {
+			t.Fatal("nil root with nonzero size")
+		}
+		return
+	}
+	seen := make(map[int32]bool)
+	var walk func(n *node, level int)
+	walk = func(n *node, level int) {
+		if n.level != level {
+			t.Fatalf("node level %d, want %d", n.level, level)
+		}
+		if n != tr.root {
+			if len(n.entries) < tr.minEntries || len(n.entries) > tr.maxEntries {
+				t.Fatalf("node entry count %d outside [%d, %d]",
+					len(n.entries), tr.minEntries, tr.maxEntries)
+			}
+		} else if len(n.entries) > tr.maxEntries {
+			t.Fatalf("root overflow: %d entries", len(n.entries))
+		}
+		for _, e := range n.entries {
+			if n.leaf() {
+				if e.child != nil {
+					t.Fatal("leaf entry with child pointer")
+				}
+				if seen[e.idx] {
+					t.Fatalf("point %d indexed twice", e.idx)
+				}
+				seen[e.idx] = true
+				if !e.rect.Min.Equal(tr.pts[e.idx]) || !e.rect.Max.Equal(tr.pts[e.idx]) {
+					t.Fatalf("leaf rect %v does not match point %v", e.rect, tr.pts[e.idx])
+				}
+				continue
+			}
+			if e.child == nil {
+				t.Fatal("internal entry without child")
+			}
+			mbr := e.child.mbr()
+			if !e.rect.Min.Equal(mbr.Min) || !e.rect.Max.Equal(mbr.Max) {
+				t.Fatalf("stale routing rect: have %v, subtree bound %v", e.rect, mbr)
+			}
+			walk(e.child, level-1)
+		}
+	}
+	walk(tr.root, tr.root.level)
+	if len(seen) != tr.size {
+		t.Fatalf("reachable points %d, size %d", len(seen), tr.size)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("empty tree: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Range(geom.Point{0, 0}, 1); got != nil {
+		t.Errorf("Range on empty = %v", got)
+	}
+	if got := tr.KNN(geom.Point{0, 0}, 3); got != nil {
+		t.Errorf("KNN on empty = %v", got)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, _ := New(nil)
+	if err := tr.Insert(geom.Point{math.NaN(), 0}); err == nil {
+		t.Error("NaN point accepted")
+	}
+	if err := tr.Insert(geom.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(geom.Point{0, 0, 0}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFanoutValidation(t *testing.T) {
+	if _, err := NewWithFanout(nil, 3); err == nil {
+		t.Error("fan-out 3 accepted")
+	}
+}
+
+func TestInvariantsAcrossGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr, _ := New(nil)
+	pts := randomPoints(rng, 2000, 2)
+	for i, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		// Checking at every power of two keeps the test fast while covering
+		// the first splits, the first root growth and deep trees.
+		if i&(i+1) == 0 || i == len(pts)-1 {
+			checkInvariants(t, tr)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected a deep tree, height %d", tr.Height())
+	}
+}
+
+func TestInvariantsHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	tr, err := New(randomPoints(rng, 500, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestInvariantsSmallFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr, err := NewWithFanout(randomPoints(rng, 300, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestInvariantsDuplicates(t *testing.T) {
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Point{1, 1} // all identical: degenerate MBRs everywhere
+	}
+	tr, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+	if got := tr.Range(geom.Point{1, 1}, 0); len(got) != 100 {
+		t.Fatalf("Range over duplicates = %d, want 100", len(got))
+	}
+}
+
+func TestRangeCountMatchesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randomPoints(rng, 800, 2)
+	tr, _ := New(pts)
+	for trial := 0; trial < 50; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		eps := rng.Float64() * 3
+		if got, want := tr.RangeCount(q, eps), len(tr.Range(q, eps)); got != want {
+			t.Fatalf("RangeCount = %d, Range size = %d", got, want)
+		}
+	}
+}
+
+func TestKNNOrderingAndCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := randomPoints(rng, 500, 2)
+	tr, _ := New(pts)
+	e := geom.Euclidean{}
+	q := geom.Point{0.5, -0.5}
+	k := 25
+	got := tr.KNN(q, k)
+	if len(got) != k {
+		t.Fatalf("KNN returned %d, want %d", len(got), k)
+	}
+	// Ascending order.
+	for i := 1; i < len(got); i++ {
+		if e.Distance(q, pts[got[i-1]]) > e.Distance(q, pts[got[i]])+1e-12 {
+			t.Fatal("KNN not ascending")
+		}
+	}
+	// Completeness: the kth distance bounds every non-returned point.
+	kth := e.Distance(q, pts[got[k-1]])
+	inResult := make(map[int]bool, k)
+	for _, i := range got {
+		inResult[i] = true
+	}
+	for i, p := range pts {
+		if !inResult[i] && e.Distance(q, p) < kth-1e-12 {
+			t.Fatalf("point %d closer than kth neighbor but missing", i)
+		}
+	}
+}
+
+func TestKNNWholeTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	pts := randomPoints(rng, 40, 2)
+	tr, _ := New(pts)
+	got := tr.KNN(geom.Point{0, 0}, 100)
+	if len(got) != 40 {
+		t.Fatalf("KNN(k>n) returned %d, want 40", len(got))
+	}
+	sort.Ints(got)
+	want := make([]int, 40)
+	for i := range want {
+		want[i] = i
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("KNN(k>n) must return every point exactly once")
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tr, err := New(randomPoints(rng, 5000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With fan-out 32 and 40% minimum fill, 5000 points need at least
+	// ceil(log_32(5000/32))+1 = 3 levels and should stay shallow.
+	if h := tr.Height(); h < 2 || h > 6 {
+		t.Fatalf("suspicious height %d for 5000 points", h)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, b.N, 2)
+	tr, _ := New(nil)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBulkInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 5, 32, 33, 100, 1000, 5000} {
+		tr, err := NewBulk(randomPoints(rng, n, 2))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestBulkHighDimInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr, err := NewBulk(randomPoints(rng, 2000, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestBulkValidation(t *testing.T) {
+	if _, err := NewBulk([]geom.Point{{1, 2}, {1}}); err == nil {
+		t.Error("mixed dims accepted")
+	}
+	if _, err := NewBulk([]geom.Point{{math.NaN(), 0}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := NewBulkWithFanout(nil, 2); err == nil {
+		t.Error("tiny fanout accepted")
+	}
+}
+
+func TestBulkThenInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr, err := NewBulk(randomPoints(rng, 500, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range randomPoints(rng, 500, 2) {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != 1000 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestBulkRangeMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := randomPoints(rng, 1500, 2)
+	bulk, err := NewBulk(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		eps := rng.Float64() * 2
+		a := bulk.Range(q, eps)
+		b := inc.Range(q, eps)
+		sort.Ints(a)
+		sort.Ints(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("bulk and incremental disagree (eps=%v)", eps)
+		}
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 100000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBulk(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRangeRectMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pts := randomPoints(rng, 800, 2)
+	tr, err := NewBulk(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := randomPoints(rng, 1, 2)[0], randomPoints(rng, 1, 2)[0]
+		q := geom.RectFromPoint(a).ExtendPoint(b)
+		var want []int
+		for i, p := range pts {
+			if q.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		got := tr.RangeRect(q)
+		sort.Ints(got)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window query mismatch: got %d, want %d results", len(got), len(want))
+		}
+	}
+	if got := (&Tree{}).RangeRect(geom.RectFromPoint(geom.Point{0, 0})); got != nil {
+		t.Fatalf("empty tree window query = %v", got)
+	}
+}

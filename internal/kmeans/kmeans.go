@@ -1,0 +1,196 @@
+// Package kmeans implements Lloyd's algorithm. DBDC's REP_kMeans local model
+// (Section 5.2 of the paper) reruns k-means inside every DBSCAN cluster,
+// with k set to the number of specific core points and those points as the
+// initial centroids; the resulting centroids replace the specific core
+// points as representatives. The package also offers k-means++ seeding so
+// plain k-means can serve as a standalone baseline.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// DefaultMaxIterations bounds Lloyd's loop when the caller does not.
+const DefaultMaxIterations = 100
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Centroids are the final cluster centers, len == k.
+	Centroids []geom.Point
+	// Assign maps each input point to the index of its centroid.
+	Assign []int
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+	// Converged reports whether the assignment reached a fixed point before
+	// the iteration budget ran out.
+	Converged bool
+	// SSQ is the final summed squared distance of points to their centroids.
+	SSQ float64
+}
+
+// Lloyd runs k-means from the given initial centroids until the assignment
+// stabilises or maxIter iterations elapse (DefaultMaxIterations when
+// maxIter <= 0). The initial centroids are cloned, never mutated. k-means
+// optimises squared Euclidean distance; it requires a vector space, which is
+// why the paper's REP_kMeans model — unlike REP_Scor — is restricted to
+// vector data.
+func Lloyd(pts []geom.Point, initial []geom.Point, maxIter int) (*Result, error) {
+	k := len(initial)
+	if k == 0 {
+		return nil, fmt.Errorf("kmeans: no initial centroids")
+	}
+	if len(pts) < k {
+		return nil, fmt.Errorf("kmeans: %d points for %d centroids", len(pts), k)
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	centroids := make([]geom.Point, k)
+	for i, c := range initial {
+		if c.Dim() != pts[0].Dim() {
+			return nil, fmt.Errorf("kmeans: centroid %d has dimension %d, points have %d",
+				i, c.Dim(), pts[0].Dim())
+		}
+		centroids[i] = c.Clone()
+	}
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{Centroids: centroids, Assign: assign}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := assignStep(pts, centroids, assign)
+		updateStep(pts, centroids, assign)
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.SSQ = ssq(pts, centroids, assign)
+	return res, nil
+}
+
+// assignStep reassigns every point to its nearest centroid and reports
+// whether any assignment changed.
+func assignStep(pts []geom.Point, centroids []geom.Point, assign []int) bool {
+	changed := false
+	for i, p := range pts {
+		best, bestDist := -1, math.Inf(1)
+		for j, c := range centroids {
+			if d := geom.SquaredEuclidean(p, c); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed = true
+		}
+	}
+	return changed
+}
+
+// updateStep moves every centroid to the mean of its assigned points. A
+// centroid that lost all points is respawned on the point farthest from its
+// current centroid, the standard empty-cluster repair.
+func updateStep(pts []geom.Point, centroids []geom.Point, assign []int) {
+	dim := pts[0].Dim()
+	sums := make([]geom.Point, len(centroids))
+	counts := make([]int, len(centroids))
+	for j := range sums {
+		sums[j] = make(geom.Point, dim)
+	}
+	for i, p := range pts {
+		j := assign[i]
+		counts[j]++
+		for d := 0; d < dim; d++ {
+			sums[j][d] += p[d]
+		}
+	}
+	for j := range centroids {
+		if counts[j] == 0 {
+			centroids[j] = farthestPoint(pts, centroids, assign).Clone()
+			continue
+		}
+		inv := 1 / float64(counts[j])
+		for d := 0; d < dim; d++ {
+			sums[j][d] *= inv
+		}
+		centroids[j] = sums[j]
+	}
+}
+
+// farthestPoint returns the input point with the largest distance to its
+// assigned centroid.
+func farthestPoint(pts []geom.Point, centroids []geom.Point, assign []int) geom.Point {
+	best, bestDist := 0, -1.0
+	for i, p := range pts {
+		if d := geom.SquaredEuclidean(p, centroids[assign[i]]); d > bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return pts[best]
+}
+
+func ssq(pts []geom.Point, centroids []geom.Point, assign []int) float64 {
+	var total float64
+	for i, p := range pts {
+		total += geom.SquaredEuclidean(p, centroids[assign[i]])
+	}
+	return total
+}
+
+// PlusPlusInit chooses k initial centroids with the k-means++ strategy:
+// the first uniformly, each further one with probability proportional to
+// the squared distance from the nearest centroid chosen so far.
+func PlusPlusInit(pts []geom.Point, k int, rng *rand.Rand) ([]geom.Point, error) {
+	if k <= 0 || k > len(pts) {
+		return nil, fmt.Errorf("kmeans: k = %d with %d points", k, len(pts))
+	}
+	centroids := make([]geom.Point, 0, k)
+	centroids = append(centroids, pts[rng.Intn(len(pts))].Clone())
+	dists := make([]float64, len(pts))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range pts {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := geom.SquaredEuclidean(p, c); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; pick any.
+			centroids = append(centroids, pts[rng.Intn(len(pts))].Clone())
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		chosen := len(pts) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, pts[chosen].Clone())
+	}
+	return centroids, nil
+}
+
+// Run is the standalone baseline: k-means++ seeding followed by Lloyd.
+func Run(pts []geom.Point, k int, rng *rand.Rand, maxIter int) (*Result, error) {
+	initial, err := PlusPlusInit(pts, k, rng)
+	if err != nil {
+		return nil, err
+	}
+	return Lloyd(pts, initial, maxIter)
+}

@@ -1,0 +1,243 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+func blobs(rng *rand.Rand, centers []geom.Point, perBlob int, spread float64) []geom.Point {
+	var pts []geom.Point
+	for _, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			p := make(geom.Point, len(c))
+			for d := range p {
+				p[d] = c[d] + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestLloydValidation(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}}
+	if _, err := Lloyd(pts, nil, 10); err == nil {
+		t.Error("no centroids accepted")
+	}
+	if _, err := Lloyd(pts, []geom.Point{{0, 0}, {1, 1}, {2, 2}}, 10); err == nil {
+		t.Error("more centroids than points accepted")
+	}
+	if _, err := Lloyd(pts, []geom.Point{{0}}, 10); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestLloydTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := []geom.Point{{0, 0}, {10, 10}}
+	pts := blobs(rng, centers, 100, 0.5)
+	res, err := Lloyd(pts, []geom.Point{{1, 1}, {9, 9}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for j, c := range centers {
+		if (geom.Euclidean{}).Distance(res.Centroids[j], c) > 0.3 {
+			t.Fatalf("centroid %d = %v, want near %v", j, res.Centroids[j], c)
+		}
+	}
+	// Every point of blob 0 assigned to centroid 0.
+	for i := 0; i < 100; i++ {
+		if res.Assign[i] != 0 {
+			t.Fatalf("point %d assigned to %d", i, res.Assign[i])
+		}
+	}
+}
+
+func TestLloydDoesNotMutateInitial(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 0}, {4, 0}, {5, 0}}
+	initial := []geom.Point{{0, 0}, {5, 0}}
+	if _, err := Lloyd(pts, initial, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !initial[0].Equal(geom.Point{0, 0}) || !initial[1].Equal(geom.Point{5, 0}) {
+		t.Fatal("Lloyd mutated the initial centroids")
+	}
+}
+
+func TestLloydSSQNonIncreasing(t *testing.T) {
+	// SSQ after convergence must not exceed SSQ of the initial assignment.
+	rng := rand.New(rand.NewSource(2))
+	pts := blobs(rng, []geom.Point{{0, 0}, {5, 5}, {0, 5}}, 60, 1.0)
+	initial, err := PlusPlusInit(pts, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSQ of the initial centroids with nearest assignment.
+	var initialSSQ float64
+	for _, p := range pts {
+		best := math.Inf(1)
+		for _, c := range initial {
+			if d := geom.SquaredEuclidean(p, c); d < best {
+				best = d
+			}
+		}
+		initialSSQ += best
+	}
+	res, err := Lloyd(pts, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSQ > initialSSQ+1e-9 {
+		t.Fatalf("SSQ increased: %v -> %v", initialSSQ, res.SSQ)
+	}
+}
+
+func TestSingleCluster(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {2, 0}, {1, 3}}
+	res, err := Lloyd(pts, []geom.Point{{0, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Centroids[0].Equal(geom.Point{1, 1}) {
+		t.Fatalf("centroid = %v, want the mean (1,1)", res.Centroids[0])
+	}
+}
+
+func TestEmptyClusterRepair(t *testing.T) {
+	// Second centroid starts far away from all points and captures none; it
+	// must be respawned rather than left dangling (or dividing by zero).
+	pts := []geom.Point{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}}
+	res, err := Lloyd(pts, []geom.Point{{5, 0}, {1000, 1000}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range res.Centroids {
+		if !c.IsFinite() {
+			t.Fatalf("centroid %d not finite: %v", j, c)
+		}
+	}
+	counts := make([]int, 2)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("empty cluster survived: %v", counts)
+	}
+}
+
+func TestPlusPlusInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := blobs(rng, []geom.Point{{0, 0}, {20, 20}}, 50, 0.2)
+	if _, err := PlusPlusInit(pts, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PlusPlusInit(pts, 101, rng); err == nil {
+		t.Error("k>n accepted")
+	}
+	// With two far blobs, k-means++ should almost surely pick one seed in
+	// each blob.
+	seeds, err := PlusPlusInit(pts, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := (geom.Euclidean{}).Distance(seeds[0], seeds[1])
+	if d < 10 {
+		t.Fatalf("++ seeds suspiciously close: %v", d)
+	}
+}
+
+func TestPlusPlusAllDuplicates(t *testing.T) {
+	pts := []geom.Point{{1, 1}, {1, 1}, {1, 1}}
+	rng := rand.New(rand.NewSource(4))
+	seeds, err := PlusPlusInit(pts, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := blobs(rng, []geom.Point{{0, 0}, {8, 0}, {4, 7}}, 80, 0.4)
+	res, err := Run(pts, 3, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+	// Each blob center should be near some centroid.
+	for _, c := range []geom.Point{{0, 0}, {8, 0}, {4, 7}} {
+		best := math.Inf(1)
+		for _, got := range res.Centroids {
+			if d := (geom.Euclidean{}).Distance(c, got); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Fatalf("no centroid near blob center %v (best %v)", c, best)
+		}
+	}
+}
+
+// Property: at a converged solution every point sits with its nearest
+// centroid and every centroid is the mean of its points.
+func TestConvergenceFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		pts := blobs(rng, []geom.Point{{0, 0}, {6, 1}, {3, 6}}, 30+rng.Intn(30), 0.8)
+		res, err := Run(pts, 3, rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			continue // budget exhausted; fixed point not guaranteed
+		}
+		for i, p := range pts {
+			bestJ, best := -1, math.Inf(1)
+			for j, c := range res.Centroids {
+				if d := geom.SquaredEuclidean(p, c); d < best {
+					bestJ, best = j, d
+				}
+			}
+			have := geom.SquaredEuclidean(p, res.Centroids[res.Assign[i]])
+			if have > best+1e-9 {
+				t.Fatalf("point %d not with nearest centroid (%d vs %d)", i, res.Assign[i], bestJ)
+			}
+		}
+		members := make(map[int][]geom.Point)
+		for i, p := range pts {
+			members[res.Assign[i]] = append(members[res.Assign[i]], p)
+		}
+		for j, c := range res.Centroids {
+			if len(members[j]) == 0 {
+				continue
+			}
+			mean := geom.Centroid(members[j])
+			if (geom.Euclidean{}).Distance(mean, c) > 1e-9 {
+				t.Fatalf("centroid %d is not the mean of its members", j)
+			}
+		}
+	}
+}
+
+func BenchmarkLloyd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobs(rng, []geom.Point{{0, 0}, {10, 0}, {5, 8}}, 2000, 1.0)
+	initial, _ := PlusPlusInit(pts, 3, rng)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lloyd(pts, initial, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Wire format: a little-endian binary encoding. Every model starts with a
+// one-byte type tag and a format version so the protocol can evolve.
+const (
+	wireVersion byte = 1
+
+	tagLocalModel  byte = 0x4C // 'L'
+	tagGlobalModel byte = 0x47 // 'G'
+)
+
+// limits guard against corrupt or malicious frames blowing up memory.
+const (
+	maxWireReps   = 10_000_000
+	maxWireDim    = 1024
+	maxWireSiteID = 4096
+)
+
+type wireWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *wireWriter) u8(v byte)     { w.buf.WriteByte(v) }
+func (w *wireWriter) u32(v uint32)  { binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *wireWriter) i32(v int32)   { binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *wireWriter) f64(v float64) { binary.Write(&w.buf, binary.LittleEndian, math.Float64bits(v)) }
+func (w *wireWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+
+type wireReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("model: "+format, args...)
+	}
+}
+
+func (r *wireReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.data) {
+		r.fail("truncated frame: need %d bytes at offset %d of %d", n, r.pos, len(r.data))
+		return false
+	}
+	return true
+}
+
+func (r *wireReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *wireReader) i32() int32 { return int32(r.u32()) }
+
+func (r *wireReader) f64() float64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v
+}
+
+func (r *wireReader) str(limit int) string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n > limit {
+		r.fail("string length %d exceeds limit %d", n, limit)
+		return ""
+	}
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func writeRep(w *wireWriter, rep Representative) {
+	w.u32(uint32(rep.Point.Dim()))
+	for _, c := range rep.Point {
+		w.f64(c)
+	}
+	w.f64(rep.Eps)
+	w.i32(int32(rep.LocalCluster))
+}
+
+func readRep(r *wireReader) Representative {
+	dim := int(r.u32())
+	if r.err == nil && dim > maxWireDim {
+		r.fail("dimension %d exceeds limit", dim)
+	}
+	if r.err != nil {
+		return Representative{}
+	}
+	p := make(geom.Point, dim)
+	for i := range p {
+		p[i] = r.f64()
+	}
+	return Representative{
+		Point:        p,
+		Eps:          r.f64(),
+		LocalCluster: cluster.ID(r.i32()),
+	}
+}
+
+// MarshalBinary encodes the local model in the compact wire format.
+func (m *LocalModel) MarshalBinary() ([]byte, error) {
+	var w wireWriter
+	w.u8(tagLocalModel)
+	w.u8(wireVersion)
+	w.str(m.SiteID)
+	w.str(string(m.Kind))
+	w.f64(m.EpsLocal)
+	w.i32(int32(m.MinPts))
+	w.i32(int32(m.NumObjects))
+	w.i32(int32(m.NumClusters))
+	w.u32(uint32(len(m.Reps)))
+	for _, rep := range m.Reps {
+		writeRep(&w, rep)
+	}
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a local model, validating limits as it reads.
+func (m *LocalModel) UnmarshalBinary(data []byte) error {
+	r := &wireReader{data: data}
+	if tag := r.u8(); r.err == nil && tag != tagLocalModel {
+		return fmt.Errorf("model: expected local model frame, got tag 0x%02x", tag)
+	}
+	if v := r.u8(); r.err == nil && v != wireVersion {
+		return fmt.Errorf("model: unsupported wire version %d", v)
+	}
+	m.SiteID = r.str(maxWireSiteID)
+	m.Kind = Kind(r.str(maxWireSiteID))
+	m.EpsLocal = r.f64()
+	m.MinPts = int(r.i32())
+	m.NumObjects = int(r.i32())
+	m.NumClusters = int(r.i32())
+	n := int(r.u32())
+	if r.err == nil && n > maxWireReps {
+		r.fail("representative count %d exceeds limit", n)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	m.Reps = make([]Representative, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Reps = append(m.Reps, readRep(r))
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(data) {
+		return fmt.Errorf("model: %d trailing bytes after local model", len(data)-r.pos)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the global model in the compact wire format.
+func (g *GlobalModel) MarshalBinary() ([]byte, error) {
+	var w wireWriter
+	w.u8(tagGlobalModel)
+	w.u8(wireVersion)
+	w.f64(g.EpsGlobal)
+	w.i32(int32(g.MinPtsGlobal))
+	w.i32(int32(g.NumClusters))
+	w.u32(uint32(len(g.Reps)))
+	for _, rep := range g.Reps {
+		writeRep(&w, rep.Representative)
+		w.str(rep.SiteID)
+		w.i32(int32(rep.GlobalCluster))
+	}
+	return w.buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a global model.
+func (g *GlobalModel) UnmarshalBinary(data []byte) error {
+	r := &wireReader{data: data}
+	if tag := r.u8(); r.err == nil && tag != tagGlobalModel {
+		return fmt.Errorf("model: expected global model frame, got tag 0x%02x", tag)
+	}
+	if v := r.u8(); r.err == nil && v != wireVersion {
+		return fmt.Errorf("model: unsupported wire version %d", v)
+	}
+	g.EpsGlobal = r.f64()
+	g.MinPtsGlobal = int(r.i32())
+	g.NumClusters = int(r.i32())
+	n := int(r.u32())
+	if r.err == nil && n > maxWireReps {
+		r.fail("representative count %d exceeds limit", n)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	g.Reps = make([]GlobalRepresentative, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		rep := readRep(r)
+		g.Reps = append(g.Reps, GlobalRepresentative{
+			Representative: rep,
+			SiteID:         r.str(maxWireSiteID),
+			GlobalCluster:  cluster.ID(r.i32()),
+		})
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(data) {
+		return fmt.Errorf("model: %d trailing bytes after global model", len(data)-r.pos)
+	}
+	return nil
+}
+
+// EncodedSize returns the wire size of the local model in bytes — the
+// uplink transmission cost of the site.
+func (m *LocalModel) EncodedSize() int {
+	b, _ := m.MarshalBinary()
+	return len(b)
+}
+
+// EncodedSize returns the wire size of the global model in bytes — the
+// downlink transmission cost per site.
+func (g *GlobalModel) EncodedSize() int {
+	b, _ := g.MarshalBinary()
+	return len(b)
+}
+
+// MarshalJSON/Unmarshal are provided by encoding/json via struct tags; the
+// helpers below exist so benchmarks can compare the wire encodings.
+
+// JSONSize returns the size of the JSON encoding of the local model.
+func (m *LocalModel) JSONSize() int {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// RawPointsSize returns the wire size that shipping all NumObjects raw
+// points of the site would have needed (dim coordinates of 8 bytes each).
+// The ratio EncodedSize/RawPointsSize is the paper's transmission saving.
+func (m *LocalModel) RawPointsSize(dim int) int {
+	return m.NumObjects * dim * 8
+}

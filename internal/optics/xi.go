@@ -1,0 +1,202 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+)
+
+// XiCluster is one cluster found by the ξ-extraction: a contiguous interval
+// of the cluster ordering. Clusters can nest; a contained interval is a
+// denser sub-cluster of its container.
+type XiCluster struct {
+	// Start and End delimit the ordering positions of the cluster's
+	// members, inclusive.
+	Start, End int
+}
+
+// Len returns the number of ordering positions the cluster spans.
+func (c XiCluster) Len() int { return c.End - c.Start + 1 }
+
+// Contains reports whether c fully contains d.
+func (c XiCluster) Contains(d XiCluster) bool { return c.Start <= d.Start && d.End <= c.End }
+
+// ExtractXi performs the automatic, hierarchy-aware cluster extraction of
+// the OPTICS paper (Ankerst et al. 1999, §4.3): instead of one global
+// density threshold, clusters are the regions between a ξ-steep downward
+// area (reachability falling by a factor ≥ 1−ξ per step, with at most
+// MinPts weaker interludes) and a subsequent ξ-steep upward area. Nested
+// intervals correspond to nested density levels, which a single
+// ExtractDBSCAN cut cannot represent. minClusterSize discards intervals
+// with fewer positions (the paper uses MinPts).
+//
+// Returned clusters are sorted by start position, then by decreasing
+// length, so containers precede their nested sub-clusters.
+func (r *Result) ExtractXi(xi float64, minClusterSize int) ([]XiCluster, error) {
+	if xi <= 0 || xi >= 1 {
+		return nil, fmt.Errorf("optics: xi must be in (0, 1), got %v", xi)
+	}
+	if minClusterSize < 2 {
+		minClusterSize = 2
+	}
+	n := len(r.Order)
+	if n == 0 {
+		return nil, nil
+	}
+	// reach[i] is the reachability at ordering position i; position n acts
+	// as a virtual terminator with infinite reachability so trailing
+	// clusters close (the paper's convention).
+	reach := make([]float64, n+1)
+	for i, e := range r.Order {
+		reach[i] = e.Reachability
+	}
+	reach[n] = math.Inf(1)
+
+	downAt := func(i int) bool { return reach[i]*(1-xi) >= reach[i+1] }
+	upAt := func(i int) bool { return reach[i] <= reach[i+1]*(1-xi) }
+
+	type steepDown struct {
+		start, end int
+		mib        float64 // maximum in between since the area was found
+	}
+	var sdas []steepDown
+	var clusters []XiCluster
+	mib := 0.0
+	index := 0
+	maxPts := r.Params.MinPts
+
+	// extendSteep walks a maximal ξ-steep area starting at index using the
+	// given steepness predicate, tolerating up to MinPts consecutive
+	// non-steep (but still monotone) positions.
+	extendSteep := func(steep func(int) bool, monotone func(int) bool) int {
+		end := index
+		i := index + 1
+		slack := 0
+		for i < n {
+			if steep(i) {
+				end = i
+				slack = 0
+			} else if monotone(i) {
+				slack++
+				if slack > maxPts {
+					break
+				}
+			} else {
+				break
+			}
+			i++
+		}
+		return end
+	}
+
+	for index < n {
+		mib = math.Max(mib, reach[index])
+		switch {
+		case downAt(index):
+			// Update the mib values of the open steep-down areas and drop
+			// those whose start can no longer combine with a future up
+			// area (paper condition: start reachability * (1-xi) < mib).
+			kept := sdas[:0]
+			for _, d := range sdas {
+				if reach[d.start]*(1-xi) >= mib {
+					d.mib = math.Max(d.mib, mib)
+					kept = append(kept, d)
+				}
+			}
+			sdas = kept
+			end := extendSteep(downAt, func(i int) bool { return reach[i] >= reach[i+1] })
+			sdas = append(sdas, steepDown{start: index, end: end, mib: 0})
+			index = end + 1
+			mib = reach[index]
+		case upAt(index):
+			kept := sdas[:0]
+			for _, d := range sdas {
+				if reach[d.start]*(1-xi) >= mib {
+					d.mib = math.Max(d.mib, mib)
+					kept = append(kept, d)
+				}
+			}
+			sdas = kept
+			end := extendSteep(upAt, func(i int) bool { return reach[i] <= reach[i+1] })
+			endReach := reach[end+1] // reachability after the up area
+			for _, d := range sdas {
+				// Combine conditions (paper 4.3): the up area must climb
+				// back above the down area's interior maximum, and the
+				// cluster borders are trimmed to comparable reachability.
+				if endReach*(1-xi) < d.mib {
+					continue
+				}
+				start, cEnd := d.start, end
+				switch {
+				case reach[d.start] > endReach:
+					// Down edge starts higher: trim the left border to the
+					// first position at or below the end reachability.
+					for start < d.end && reach[start+1] > endReach {
+						start++
+					}
+				case endReach > reach[d.start]:
+					// Up edge ends higher: trim the right border.
+					for cEnd > index && reach[cEnd] > reach[d.start] {
+						cEnd--
+					}
+				}
+				if cEnd-start+1 < minClusterSize {
+					continue
+				}
+				clusters = append(clusters, XiCluster{Start: start, End: cEnd})
+			}
+			index = end + 1
+			mib = reach[index]
+		default:
+			index++
+		}
+	}
+	sort.Slice(clusters, func(a, b int) bool {
+		if clusters[a].Start != clusters[b].Start {
+			return clusters[a].Start < clusters[b].Start
+		}
+		return clusters[a].Len() > clusters[b].Len()
+	})
+	return clusters, nil
+}
+
+// XiLabels converts a set of ξ-clusters into a flat labeling by assigning
+// every object to the SMALLEST (densest) cluster interval containing its
+// ordering position; objects outside every interval are noise.
+func (r *Result) XiLabels(clusters []XiCluster) cluster.Labeling {
+	labels := cluster.NewLabeling(len(r.Order))
+	for i := range labels {
+		labels[i] = cluster.Noise
+	}
+	// Assign larger intervals first so smaller (nested) ones overwrite.
+	ordered := append([]XiCluster(nil), clusters...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Len() > ordered[b].Len() })
+	for id, c := range ordered {
+		for pos := c.Start; pos <= c.End && pos < len(r.Order); pos++ {
+			labels[r.Order[pos].Object] = cluster.ID(id)
+		}
+	}
+	return labels
+}
+
+// TopLevel filters a ξ-extraction down to its maximal intervals: clusters
+// contained in no other cluster. These correspond to the coarsest density
+// level — the view comparable to a flat clustering.
+func TopLevel(clusters []XiCluster) []XiCluster {
+	var out []XiCluster
+	for i, c := range clusters {
+		contained := false
+		for j, d := range clusters {
+			if i != j && d.Contains(c) && d.Len() > c.Len() {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package optics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// syntheticResult builds a Result with a hand-crafted reachability profile
+// so the ξ-extraction can be unit-tested against known steep structure.
+func syntheticResult(reach []float64, minPts int) *Result {
+	r := &Result{Params: dbscan.Params{Eps: math.Inf(1), MinPts: minPts}}
+	for i, v := range reach {
+		r.Order = append(r.Order, Entry{Object: i, Reachability: v, CoreDist: v})
+	}
+	return r
+}
+
+func TestExtractXiValidation(t *testing.T) {
+	r := syntheticResult([]float64{1, 1, 1}, 2)
+	if _, err := r.ExtractXi(0, 2); err == nil {
+		t.Error("xi=0 accepted")
+	}
+	if _, err := r.ExtractXi(1, 2); err == nil {
+		t.Error("xi=1 accepted")
+	}
+	empty := syntheticResult(nil, 2)
+	if got, err := empty.ExtractXi(0.05, 2); err != nil || len(got) != 0 {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+}
+
+func TestExtractXiSingleValley(t *testing.T) {
+	// One steep drop into a flat valley, one steep climb out.
+	reach := []float64{math.Inf(1), 10, 1, 1, 1, 1, 1, 10, 10}
+	r := syntheticResult(reach, 2)
+	clusters, err := r.ExtractXi(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("valley not found")
+	}
+	// The widest extracted cluster must cover the valley positions 2..6.
+	best := clusters[0]
+	for _, c := range clusters {
+		if c.Len() > best.Len() {
+			best = c
+		}
+	}
+	if best.Start > 2 || best.End < 6 {
+		t.Fatalf("valley cluster = %+v, want to span [2,6]", best)
+	}
+}
+
+func TestExtractXiTwoValleys(t *testing.T) {
+	reach := []float64{math.Inf(1), 8,
+		1, 1, 1, 1, // valley 1
+		8, 8,
+		1, 1, 1, 1, // valley 2
+		8, 8}
+	r := syntheticResult(reach, 2)
+	clusters, err := r.ExtractXi(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both valleys must be covered by some cluster. The hierarchy root
+	// (everything at the top density level) is legitimate; what must NOT
+	// appear is a proper sub-interval bridging the ridge at 6-7 without
+	// being the root.
+	covered1, covered2 := false, false
+	for _, c := range clusters {
+		if c.Start <= 2 && c.End >= 5 {
+			covered1 = true
+		}
+		if c.Start <= 8 && c.End >= 11 {
+			covered2 = true
+		}
+		if c.Start >= 1 && c.Start <= 3 && c.End >= 9 && c.End <= 12 {
+			t.Fatalf("cluster %+v bridges the ridge", c)
+		}
+	}
+	if !covered1 || !covered2 {
+		t.Fatalf("valleys covered: %v, %v (clusters %+v)", covered1, covered2, clusters)
+	}
+}
+
+func TestExtractXiNestedValleys(t *testing.T) {
+	// A broad valley at level 3 containing a deeper sub-valley at level 1:
+	// the hierarchy the single-cut extraction cannot express. The level-3
+	// shoulders are wider than MinPts so the outer descent cannot swallow
+	// the inner one (a ξ-steep area tolerates at most MinPts non-steep
+	// interruptions).
+	reach := []float64{math.Inf(1), 20,
+		3, 3, 3, 3, 3,
+		1, 1, 1, 1, // nested dense core
+		3, 3, 3, 3, 3,
+		20, 20}
+	r := syntheticResult(reach, 2)
+	clusters, err := r.ExtractXi(0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outer, inner *XiCluster
+	for i := range clusters {
+		c := &clusters[i]
+		if c.Start <= 2 && c.End >= 15 {
+			outer = c
+		}
+		if c.Start >= 6 && c.End <= 13 && c.Len() >= 4 && c.Len() <= 10 {
+			inner = c
+		}
+	}
+	if outer == nil {
+		t.Fatalf("outer valley missing: %+v", clusters)
+	}
+	if inner == nil {
+		t.Fatalf("nested valley missing: %+v", clusters)
+	}
+	if !outer.Contains(*inner) {
+		t.Fatalf("hierarchy broken: outer %+v does not contain inner %+v", outer, inner)
+	}
+}
+
+func TestExtractXiMinClusterSize(t *testing.T) {
+	reach := []float64{math.Inf(1), 10, 1, 1, 10, 10}
+	r := syntheticResult(reach, 2)
+	clusters, err := r.ExtractXi(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clusters {
+		if c.Len() < 5 {
+			t.Fatalf("cluster %+v below min size", c)
+		}
+	}
+}
+
+func TestExtractXiFlatProfile(t *testing.T) {
+	reach := []float64{math.Inf(1), 2, 2, 2, 2, 2}
+	r := syntheticResult(reach, 2)
+	clusters, err := r.ExtractXi(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One density level: at most the trivial "everything" interval may
+	// appear; nothing may split the flat region.
+	for _, c := range clusters {
+		if c.Len() < 3 {
+			t.Fatalf("flat profile produced fragment %+v", c)
+		}
+	}
+}
+
+// Integration: on two well-separated blobs the ξ-extraction finds two
+// clusters that agree with the generating blobs.
+func TestExtractXiOnRealData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var pts []geom.Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
+	}
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{15 + rng.NormFloat64()*0.3, rng.NormFloat64() * 0.3})
+	}
+	res, err := Run(linearOf(pts), dbscan.Params{Eps: 50, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := res.ExtractXi(0.3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Judge the coarsest informative density level: drop the hierarchy
+	// root (which spans everything — real profiles always have one), then
+	// keep the maximal intervals. Micro-fluctuation sub-clusters nest
+	// inside and are filtered by TopLevel.
+	var proper []XiCluster
+	for _, c := range clusters {
+		if c.Len() < len(res.Order)-5 {
+			proper = append(proper, c)
+		}
+	}
+	labels := res.XiLabels(TopLevel(proper))
+	// Objects of each blob must share a label, and the blobs must differ.
+	if labels[0] < 0 || labels[100] < 0 {
+		t.Fatalf("blob members labelled noise: %v %v", labels[0], labels[100])
+	}
+	same1, same2 := 0, 0
+	for i := 0; i < 100; i++ {
+		if labels[i] == labels[0] {
+			same1++
+		}
+		if labels[100+i] == labels[100] {
+			same2++
+		}
+	}
+	if same1 < 95 || same2 < 95 {
+		t.Fatalf("blob cohesion: %d, %d of 100", same1, same2)
+	}
+	if labels[0] == labels[100] {
+		t.Fatal("blobs merged by ξ-extraction")
+	}
+}
+
+func TestXiLabelsNesting(t *testing.T) {
+	reach := []float64{math.Inf(1), 20, 3, 3, 1, 1, 1, 3, 3, 20}
+	r := syntheticResult(reach, 2)
+	clusters := []XiCluster{{Start: 2, End: 8}, {Start: 4, End: 6}}
+	labels := r.XiLabels(clusters)
+	// Nested members carry the smaller cluster's id, outer members the
+	// container's, everything else noise.
+	if labels[4] == labels[2] {
+		t.Fatal("nested positions not overwritten by the denser cluster")
+	}
+	if labels[0] >= 0 || labels[9] >= 0 {
+		t.Fatal("positions outside every interval must be noise")
+	}
+	if labels[2] < 0 || labels[8] < 0 {
+		t.Fatal("outer members lost")
+	}
+}

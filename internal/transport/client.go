@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// Exchange performs the site side of one DBDC round: connect to the
+// server, upload the local model and wait for the global model. It returns
+// the global model together with the payload bytes sent and received.
+func Exchange(addr string, local *model.LocalModel, timeout time.Duration) (*model.GlobalModel, int, int, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	payload, err := local.MarshalBinary()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	sent, err := WriteFrame(conn, MsgLocalModel, payload)
+	if err != nil {
+		return nil, sent, 0, err
+	}
+	msgType, reply, received, err := ReadFrame(conn)
+	if err != nil {
+		return nil, sent, 0, err
+	}
+	switch msgType {
+	case MsgGlobalModel:
+		var global model.GlobalModel
+		if err := global.UnmarshalBinary(reply); err != nil {
+			return nil, sent, received, err
+		}
+		if err := global.Validate(); err != nil {
+			return nil, sent, received, err
+		}
+		return &global, sent, received, nil
+	case MsgError:
+		return nil, sent, received, fmt.Errorf("transport: server reported: %s", reply)
+	default:
+		return nil, sent, received, fmt.Errorf("transport: unexpected message type 0x%02x", msgType)
+	}
+}
+
+// SiteReport is the outcome of RunSite.
+type SiteReport struct {
+	// Labels is the site's final labeling with global cluster ids.
+	Labels cluster.Labeling
+	// Stats summarises the relabeling changes.
+	Stats dbdc.RelabelStats
+	// Global is the received global model.
+	Global *model.GlobalModel
+	// BytesSent and BytesReceived are the wire costs of the round.
+	BytesSent     int
+	BytesReceived int
+}
+
+// RunSite executes the full site-side DBDC pipeline against a remote
+// server: local clustering, model upload, global model download,
+// relabeling.
+func RunSite(addr, siteID string, pts []geom.Point, cfg dbdc.Config, timeout time.Duration) (*SiteReport, error) {
+	outcome, err := dbdc.LocalStep(siteID, pts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	global, sent, received, err := Exchange(addr, outcome.Model, timeout)
+	if err != nil {
+		return nil, err
+	}
+	labels, stats := dbdc.RelabelSite(outcome, global)
+	return &SiteReport{
+		Labels:        labels,
+		Stats:         stats,
+		Global:        global,
+		BytesSent:     sent,
+		BytesReceived: received,
+	}, nil
+}

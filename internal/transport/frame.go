@@ -1,0 +1,73 @@
+// Package transport turns DBDC into an actual client/server system: sites
+// connect to the central server over TCP, upload their local models and
+// receive the global model back. The paper's setting — independent sites
+// that communicate only with the server, never with each other — maps to
+// one synchronous round trip per site. All payloads use the compact binary
+// encoding of the model package, and both directions count bytes so the
+// transmission-cost claims can be measured rather than asserted.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types of the wire protocol.
+const (
+	// MsgLocalModel carries a model.LocalModel from site to server.
+	MsgLocalModel byte = 0x01
+	// MsgGlobalModel carries a model.GlobalModel from server to site.
+	MsgGlobalModel byte = 0x02
+	// MsgError carries a UTF-8 error string from server to site when the
+	// round failed (e.g. another site sent garbage).
+	MsgError byte = 0x03
+)
+
+// MaxFrameSize bounds a frame payload (64 MiB) so a corrupt length prefix
+// cannot exhaust memory.
+const MaxFrameSize = 64 << 20
+
+// frame header: 4-byte little-endian payload length, 1-byte message type.
+const frameHeaderSize = 5
+
+// ErrFrameTooLarge is returned when a frame advertises a payload beyond
+// MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+// WriteFrame writes one protocol frame and returns the number of bytes put
+// on the wire.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) (int, error) {
+	if len(payload) > MaxFrameSize {
+		return 0, ErrFrameTooLarge
+	}
+	header := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(header, uint32(len(payload)))
+	header[4] = msgType
+	if _, err := w.Write(header); err != nil {
+		return 0, fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return frameHeaderSize, fmt.Errorf("transport: writing frame payload: %w", err)
+	}
+	return frameHeaderSize + len(payload), nil
+}
+
+// ReadFrame reads one protocol frame and returns its type, payload and size
+// on the wire.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, n int, err error) {
+	header := make([]byte, frameHeaderSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, 0, fmt.Errorf("transport: reading frame header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(header)
+	if size > MaxFrameSize {
+		return 0, nil, 0, ErrFrameTooLarge
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("transport: reading frame payload: %w", err)
+	}
+	return header[4], payload, frameHeaderSize + int(size), nil
+}

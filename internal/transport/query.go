@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Section 7 of the paper motivates the relabeling step with queries like
+// "give me all objects on your site which belong to the global cluster
+// 4711". SiteQueryServer is that capability: after a DBDC round, a site
+// serves membership queries over its relabelled objects.
+
+// Additional message types for the query protocol.
+const (
+	// MsgClusterQuery carries a global cluster id (little-endian int32).
+	MsgClusterQuery byte = 0x10
+	// MsgClusterReply carries the matching points: u32 count, u32 dim,
+	// count·dim float64 coordinates.
+	MsgClusterReply byte = 0x11
+)
+
+// SiteQueryServer answers cluster-membership queries over one site's
+// relabelled data.
+type SiteQueryServer struct {
+	ln      net.Listener
+	timeout time.Duration
+
+	mu     sync.RWMutex
+	pts    []geom.Point
+	labels cluster.Labeling
+}
+
+// NewSiteQueryServer listens on addr and serves the given relabelled
+// objects. pts and labels must have equal length.
+func NewSiteQueryServer(addr string, pts []geom.Point, labels cluster.Labeling, timeout time.Duration) (*SiteQueryServer, error) {
+	if len(pts) != len(labels) {
+		return nil, fmt.Errorf("transport: %d points but %d labels", len(pts), len(labels))
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &SiteQueryServer{ln: ln, timeout: timeout, pts: pts, labels: labels}, nil
+}
+
+// Addr returns the listen address.
+func (s *SiteQueryServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *SiteQueryServer) Close() error { return s.ln.Close() }
+
+// Update replaces the served labeling, e.g. after the next DBDC round.
+func (s *SiteQueryServer) Update(pts []geom.Point, labels cluster.Labeling) error {
+	if len(pts) != len(labels) {
+		return fmt.Errorf("transport: %d points but %d labels", len(pts), len(labels))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pts, s.labels = pts, labels
+	return nil
+}
+
+// Serve answers n query connections (0 = until Close).
+func (s *SiteQueryServer) Serve(n int) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for done := 0; n == 0 || done < n; done++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if n == 0 {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			s.handleQuery(conn)
+		}(conn)
+	}
+	return nil
+}
+
+func (s *SiteQueryServer) handleQuery(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(s.timeout))
+	msgType, payload, _, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if msgType != MsgClusterQuery || len(payload) != 4 {
+		WriteFrame(conn, MsgError, []byte("expected cluster query"))
+		return
+	}
+	id := cluster.ID(int32(binary.LittleEndian.Uint32(payload)))
+	s.mu.RLock()
+	var members []geom.Point
+	for i, l := range s.labels {
+		if l == id {
+			members = append(members, s.pts[i])
+		}
+	}
+	s.mu.RUnlock()
+	WriteFrame(conn, MsgClusterReply, encodePoints(members))
+}
+
+func encodePoints(pts []geom.Point) []byte {
+	dim := 0
+	if len(pts) > 0 {
+		dim = pts[0].Dim()
+	}
+	buf := make([]byte, 8, 8+len(pts)*dim*8)
+	binary.LittleEndian.PutUint32(buf, uint32(len(pts)))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(dim))
+	for _, p := range pts {
+		for _, v := range p {
+			var scratch [8]byte
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			buf = append(buf, scratch[:]...)
+		}
+	}
+	return buf
+}
+
+func decodePoints(buf []byte) ([]geom.Point, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("transport: truncated point list")
+	}
+	count := int(binary.LittleEndian.Uint32(buf))
+	dim := int(binary.LittleEndian.Uint32(buf[4:]))
+	if dim > 1024 || count > 100_000_000 {
+		return nil, fmt.Errorf("transport: implausible point list %dx%d", count, dim)
+	}
+	need := 8 + count*dim*8
+	if len(buf) != need {
+		return nil, fmt.Errorf("transport: point list has %d bytes, want %d", len(buf), need)
+	}
+	pts := make([]geom.Point, count)
+	off := 8
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// QueryCluster asks the site at addr for all of its objects in the given
+// global cluster.
+func QueryCluster(addr string, id cluster.ID, timeout time.Duration) ([]geom.Point, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	var payload [4]byte
+	binary.LittleEndian.PutUint32(payload[:], uint32(int32(id)))
+	if _, err := WriteFrame(conn, MsgClusterQuery, payload[:]); err != nil {
+		return nil, err
+	}
+	msgType, reply, _, err := ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	switch msgType {
+	case MsgClusterReply:
+		return decodePoints(reply)
+	case MsgError:
+		return nil, fmt.Errorf("transport: site reported: %s", reply)
+	default:
+		return nil, fmt.Errorf("transport: unexpected message type 0x%02x", msgType)
+	}
+}

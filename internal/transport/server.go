@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// Server is the central DBDC site: it accepts one connection per client
+// site, collects their local models, derives the global model and sends it
+// back on every connection.
+type Server struct {
+	cfg dbdc.Config
+	// ExpectSites is the number of site connections one round consists of.
+	expect  int
+	timeout time.Duration
+	ln      net.Listener
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") for a round of expect
+// sites. timeout bounds each connection's I/O; zero means 30s.
+func NewServer(addr string, expect int, cfg dbdc.Config, timeout time.Duration) (*Server, error) {
+	if expect < 1 {
+		return nil, fmt.Errorf("transport: server needs at least one site, got %d", expect)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &Server{cfg: cfg, expect: expect, timeout: timeout, ln: ln}, nil
+}
+
+// Addr returns the address the server listens on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// BytesIn returns the total payload bytes received from sites.
+func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
+
+// BytesOut returns the total payload bytes sent to sites.
+func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
+
+// Close releases the listener.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// RunRound performs one complete DBDC round: accept the expected number of
+// site connections, read a local model from each, compute the global model
+// and reply to every site. Connections that fail are reported but do not
+// abort the round — the server proceeds with the models it has, exactly as
+// a real deployment would when a site is down (the incremental DBSCAN
+// support means a site can catch up later).
+func (s *Server) RunRound() (*model.GlobalModel, error) {
+	type siteConn struct {
+		conn  net.Conn
+		model *model.LocalModel
+		err   error
+	}
+	conns := make([]siteConn, 0, s.expect)
+	for len(conns) < s.expect {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed underneath us: fail the round.
+			for _, sc := range conns {
+				sc.conn.Close()
+			}
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		conns = append(conns, siteConn{conn: conn})
+	}
+	// Read every site's model concurrently.
+	var wg sync.WaitGroup
+	for i := range conns {
+		wg.Add(1)
+		go func(sc *siteConn) {
+			defer wg.Done()
+			sc.conn.SetDeadline(time.Now().Add(s.timeout))
+			msgType, payload, n, err := ReadFrame(sc.conn)
+			if err != nil {
+				sc.err = err
+				return
+			}
+			s.bytesIn.Add(int64(n))
+			if msgType != MsgLocalModel {
+				sc.err = fmt.Errorf("transport: expected local model, got message type 0x%02x", msgType)
+				return
+			}
+			var m model.LocalModel
+			if err := m.UnmarshalBinary(payload); err != nil {
+				sc.err = err
+				return
+			}
+			if err := m.Validate(); err != nil {
+				sc.err = err
+				return
+			}
+			sc.model = &m
+		}(&conns[i])
+	}
+	wg.Wait()
+	var models []*model.LocalModel
+	var failed []error
+	for i := range conns {
+		if conns[i].err != nil {
+			failed = append(failed, conns[i].err)
+			continue
+		}
+		models = append(models, conns[i].model)
+	}
+	if len(models) == 0 {
+		for i := range conns {
+			conns[i].conn.Close()
+		}
+		return nil, fmt.Errorf("transport: no usable local models (%d sites failed, first: %v)",
+			len(failed), failed[0])
+	}
+	global, err := dbdc.GlobalStep(models, s.cfg)
+	if err != nil {
+		// Tell the healthy sites the round failed, then bail.
+		for i := range conns {
+			if conns[i].err == nil {
+				WriteFrame(conns[i].conn, MsgError, []byte(err.Error()))
+			}
+			conns[i].conn.Close()
+		}
+		return nil, err
+	}
+	payload, err := global.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	for i := range conns {
+		if conns[i].err == nil {
+			conns[i].conn.SetDeadline(time.Now().Add(s.timeout))
+			if n, werr := WriteFrame(conns[i].conn, MsgGlobalModel, payload); werr == nil {
+				s.bytesOut.Add(int64(n))
+			}
+		}
+		conns[i].conn.Close()
+	}
+	return global, nil
+}

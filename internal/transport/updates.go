@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// UpdateServer is the long-running variant of the DBDC server for
+// incremental deployments: sites connect whenever their local clustering
+// has changed considerably (cf. Section 4 of the paper and the incremental
+// DBSCAN site mode), upload a fresh local model, and immediately receive a
+// global model rebuilt from the newest model of every site seen so far.
+// Stale models of silent sites stay in effect — the server never has to
+// wait for all sites.
+type UpdateServer struct {
+	cfg     dbdc.Config
+	timeout time.Duration
+	ln      net.Listener
+
+	mu     sync.Mutex
+	models map[string]*model.LocalModel
+	global *model.GlobalModel
+}
+
+// NewUpdateServer listens on addr for model updates.
+func NewUpdateServer(addr string, cfg dbdc.Config, timeout time.Duration) (*UpdateServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &UpdateServer{
+		cfg:     cfg,
+		timeout: timeout,
+		ln:      ln,
+		models:  make(map[string]*model.LocalModel),
+	}, nil
+}
+
+// Addr returns the listen address.
+func (s *UpdateServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections.
+func (s *UpdateServer) Close() error { return s.ln.Close() }
+
+// Sites returns the ids of the sites whose models are currently retained,
+// sorted.
+func (s *UpdateServer) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.models))
+	for id := range s.models {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Global returns the latest global model, or nil before the first update.
+func (s *UpdateServer) Global() *model.GlobalModel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.global
+}
+
+// Serve handles updates until the listener closes (use Close to stop) or
+// maxUpdates updates have been processed (0 = unlimited). Each connection
+// carries one update; connections are handled concurrently, the model
+// store and global rebuild are serialized.
+func (s *UpdateServer) Serve(maxUpdates int) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for done := 0; maxUpdates == 0 || done < maxUpdates; done++ {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if maxUpdates == 0 {
+				return nil // closed: normal shutdown
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			s.handleUpdate(conn)
+		}(conn)
+	}
+	return nil
+}
+
+// handleUpdate processes one site connection: read the model, rebuild the
+// global model, reply.
+func (s *UpdateServer) handleUpdate(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(s.timeout))
+	msgType, payload, _, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if msgType != MsgLocalModel {
+		WriteFrame(conn, MsgError, []byte("expected local model"))
+		return
+	}
+	var m model.LocalModel
+	if err := m.UnmarshalBinary(payload); err != nil {
+		WriteFrame(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	if err := m.Validate(); err != nil {
+		WriteFrame(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	global, err := s.storeAndRebuild(&m)
+	if err != nil {
+		WriteFrame(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	reply, err := global.MarshalBinary()
+	if err != nil {
+		WriteFrame(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	WriteFrame(conn, MsgGlobalModel, reply)
+}
+
+// storeAndRebuild replaces the site's model and recomputes the global
+// model from the newest model of every site.
+func (s *UpdateServer) storeAndRebuild(m *model.LocalModel) (*model.GlobalModel, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models[m.SiteID] = m
+	ids := make([]string, 0, len(s.models))
+	for id := range s.models {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic global clustering order
+	all := make([]*model.LocalModel, 0, len(ids))
+	for _, id := range ids {
+		all = append(all, s.models[id])
+	}
+	global, err := dbdc.GlobalStep(all, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.global = global
+	return global, nil
+}

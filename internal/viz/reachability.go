@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ReachabilityPlot renders an OPTICS reachability plot as an ASCII bar
+// chart: one column per position of the cluster ordering (downsampled to
+// the requested width), bar height proportional to the reachability.
+// Valleys are clusters, peaks are the separations an analyst cuts at.
+// Undefined (infinite) reachabilities render as full-height '!' columns.
+// An optional cut line is drawn as a row of '-' markers at the cut value.
+func ReachabilityPlot(reach []float64, width, height int, cut float64) (string, error) {
+	if len(reach) == 0 {
+		return "", fmt.Errorf("viz: empty reachability plot")
+	}
+	if width < 2 || height < 2 {
+		return "", fmt.Errorf("viz: grid %dx%d too small", width, height)
+	}
+	if width > len(reach) {
+		width = len(reach)
+	}
+	// Downsample: each column shows the maximum of its bucket (peaks are
+	// what the analyst must not lose).
+	cols := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * len(reach) / width
+		hi := (c + 1) * len(reach) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		max := 0.0
+		for _, v := range reach[lo:hi] {
+			if math.IsInf(v, 1) {
+				max = math.Inf(1)
+				break
+			}
+			if v > max {
+				max = v
+			}
+		}
+		cols[c] = max
+	}
+	// Scale to the largest finite value (or the cut, whichever is larger).
+	scale := cut
+	for _, v := range cols {
+		if !math.IsInf(v, 1) && v > scale {
+			scale = v
+		}
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	cutRow := -1
+	if cut > 0 {
+		cutRow = int(cut / scale * float64(height-1))
+		if cutRow >= height {
+			cutRow = height - 1
+		}
+	}
+	var b strings.Builder
+	for row := height - 1; row >= 0; row-- {
+		for c := 0; c < width; c++ {
+			var barTop int
+			infinite := math.IsInf(cols[c], 1)
+			if infinite {
+				barTop = height - 1
+			} else {
+				barTop = int(cols[c] / scale * float64(height-1))
+			}
+			switch {
+			case infinite && row <= barTop:
+				b.WriteByte('!')
+			case row <= barTop && cols[c] > 0:
+				b.WriteByte('#')
+			case row == cutRow:
+				b.WriteByte('-')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if cut > 0 {
+		fmt.Fprintf(&b, "scale: 0..%.3g, cut at %.3g ('-')\n", scale, cut)
+	} else {
+		fmt.Fprintf(&b, "scale: 0..%.3g\n", scale)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,114 @@
+// Package viz renders clusterings as ASCII scatter plots — the terminal
+// counterpart of the paper's Figure 6, used by cmd/dbdc -plot and handy
+// when eyeballing why a quality score moved.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// clusterGlyphs are assigned to cluster ids round-robin.
+const clusterGlyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// noiseGlyph marks noise objects, emptyGlyph empty cells.
+const (
+	noiseGlyph = '.'
+	emptyGlyph = ' '
+)
+
+// Scatter renders the first two dimensions of the points into a
+// width×height character grid, one glyph per cluster, '.' for noise. When
+// several objects fall into one cell, the most frequent cluster of the
+// cell wins (noise never overrules a cluster glyph). The plot is framed
+// and annotated with the data bounds.
+func Scatter(pts []geom.Point, labels cluster.Labeling, width, height int) (string, error) {
+	if len(pts) != len(labels) {
+		return "", fmt.Errorf("viz: %d points but %d labels", len(pts), len(labels))
+	}
+	if width < 2 || height < 2 {
+		return "", fmt.Errorf("viz: grid %dx%d too small", width, height)
+	}
+	if len(pts) == 0 {
+		return "", fmt.Errorf("viz: no points")
+	}
+	if pts[0].Dim() < 2 {
+		return "", fmt.Errorf("viz: need at least 2 dimensions, have %d", pts[0].Dim())
+	}
+	bounds := geom.BoundingRect(pts)
+	spanX := bounds.Max[0] - bounds.Min[0]
+	spanY := bounds.Max[1] - bounds.Min[1]
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	// votes[cell][label] counts objects per cell.
+	votes := make([]map[cluster.ID]int, width*height)
+	for i, p := range pts {
+		// The span can overflow to +Inf for extreme coordinate ranges;
+		// project defensively and clamp into the grid.
+		x := clampCell(float64(width-1)*(p[0]-bounds.Min[0])/spanX, width)
+		y := clampCell(float64(height-1)*(p[1]-bounds.Min[1])/spanY, height)
+		cell := (height-1-y)*width + x // y grows upwards
+		if votes[cell] == nil {
+			votes[cell] = make(map[cluster.ID]int)
+		}
+		votes[cell][labels[i]]++
+	}
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	for row := 0; row < height; row++ {
+		b.WriteByte('|')
+		for col := 0; col < width; col++ {
+			b.WriteRune(glyphFor(votes[row*width+col]))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	fmt.Fprintf(&b, "x: [%.3g, %.3g]  y: [%.3g, %.3g]  %d points, %d clusters, %d noise\n",
+		bounds.Min[0], bounds.Max[0], bounds.Min[1], bounds.Max[1],
+		len(pts), labels.NumClusters(), labels.NumNoise())
+	return b.String(), nil
+}
+
+// clampCell converts a projected coordinate to a grid cell, mapping NaN
+// (overflowed span) to 0 and clamping into [0, size-1].
+func clampCell(v float64, size int) int {
+	if !(v >= 0) { // catches NaN and negatives
+		return 0
+	}
+	if v >= float64(size-1) { // clamp before int conversion can overflow
+		return size - 1
+	}
+	return int(v)
+}
+
+// glyphFor picks the majority cluster of a cell; noise only shows when no
+// cluster object shares the cell.
+func glyphFor(v map[cluster.ID]int) rune {
+	if len(v) == 0 {
+		return emptyGlyph
+	}
+	best, bestCount := cluster.Noise, -1
+	for id, n := range v {
+		if id == cluster.Noise {
+			continue
+		}
+		if n > bestCount || (n == bestCount && id < best) {
+			best, bestCount = id, n
+		}
+	}
+	if bestCount < 0 {
+		return noiseGlyph
+	}
+	return rune(clusterGlyphs[int(best)%len(clusterGlyphs)])
+}

@@ -1,0 +1,151 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+func TestScatterValidation(t *testing.T) {
+	pts := []geom.Point{{0, 0}}
+	labels := cluster.Labeling{0}
+	if _, err := Scatter(pts, cluster.Labeling{0, 1}, 10, 10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Scatter(pts, labels, 1, 10); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if _, err := Scatter(nil, nil, 10, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Scatter([]geom.Point{{1}}, labels, 10, 10); err == nil {
+		t.Error("1-d input accepted")
+	}
+}
+
+func TestScatterCorners(t *testing.T) {
+	// Four corner points with distinct clusters land in the grid corners.
+	pts := []geom.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	labels := cluster.Labeling{0, 1, 2, 3}
+	out, err := Scatter(pts, labels, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Frame + 3 rows + frame + caption.
+	if lines[0] != "+-----+" {
+		t.Fatalf("top frame = %q", lines[0])
+	}
+	// y grows upwards: row 1 is the TOP, so clusters 2 (0,1) and 3 (1,1).
+	if lines[1] != "|2   3|" {
+		t.Fatalf("top row = %q", lines[1])
+	}
+	if lines[3] != "|0   1|" {
+		t.Fatalf("bottom row = %q", lines[3])
+	}
+	if !strings.Contains(lines[5], "4 points, 4 clusters, 0 noise") {
+		t.Fatalf("caption = %q", lines[5])
+	}
+}
+
+func TestScatterNoiseAndMajority(t *testing.T) {
+	// All points share one cell: the majority cluster glyph must win over
+	// noise and over the minority cluster.
+	pts := []geom.Point{{0, 0}, {0, 0}, {0, 0}, {0, 0}}
+	labels := cluster.Labeling{cluster.Noise, 1, 1, 0}
+	out, err := Scatter(pts, labels, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1") {
+		t.Fatalf("majority glyph missing:\n%s", out)
+	}
+	if strings.Contains(out, ".") && strings.Count(out, ".") > 6 {
+		// Dots appear in the caption floats; just ensure no noise cell.
+		t.Fatalf("noise overruled a cluster:\n%s", out)
+	}
+}
+
+func TestScatterPureNoise(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {2, 2}}
+	labels := cluster.Labeling{cluster.Noise, cluster.Noise}
+	out, err := Scatter(pts, labels, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, string(noiseGlyph)) {
+		t.Fatalf("noise glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 clusters, 2 noise") {
+		t.Fatalf("caption wrong:\n%s", out)
+	}
+}
+
+func TestScatterDegenerateSpan(t *testing.T) {
+	// All points on a vertical line: zero x-span must not divide by zero.
+	pts := []geom.Point{{1, 0}, {1, 5}, {1, 10}}
+	labels := cluster.Labeling{0, 0, 0}
+	if _, err := Scatter(pts, labels, 8, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterManyClusterGlyphCycle(t *testing.T) {
+	// Cluster ids beyond the glyph alphabet wrap around instead of
+	// panicking.
+	pts := []geom.Point{{0, 0}, {1, 1}}
+	labels := cluster.Labeling{cluster.ID(len(clusterGlyphs) + 1), 0}
+	out, err := Scatter(pts, labels, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1") { // (len+1) % len == 1
+		t.Fatalf("glyph cycling failed:\n%s", out)
+	}
+}
+
+// Property (testing/quick): Scatter never panics and always produces a
+// well-framed plot on arbitrary finite input.
+func TestQuickScatterRobust(t *testing.T) {
+	f := func(coords [][2]float64, rawLabels []int8, w8, h8 uint8) bool {
+		if len(coords) == 0 {
+			return true
+		}
+		pts := make([]geom.Point, len(coords))
+		labels := make(cluster.Labeling, len(coords))
+		for i, c := range coords {
+			pts[i] = geom.Point{c[0], c[1]}
+			if !pts[i].IsFinite() {
+				pts[i] = geom.Point{0, 0}
+			}
+			if i < len(rawLabels) && rawLabels[i] >= 0 {
+				labels[i] = cluster.ID(rawLabels[i])
+			} else {
+				labels[i] = cluster.Noise
+			}
+		}
+		width := 2 + int(w8)%60
+		height := 2 + int(h8)%30
+		out, err := Scatter(pts, labels, width, height)
+		if err != nil {
+			return false
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// Frame + height rows + frame + caption.
+		if len(lines) != height+3 {
+			return false
+		}
+		for _, l := range lines[1 : height+1] {
+			if len([]rune(l)) != width+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
