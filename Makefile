@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet experiments examples clean
+.PHONY: all build test test-short test-race check fuzz-smoke bench vet experiments examples clean
 
 all: build vet test
 
@@ -17,6 +17,21 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# The CI gate: static checks, build, race-enabled tests.
+check: vet build test-race
+
+# Short native-fuzzing smoke over every fuzz target (decoders must never
+# panic on arbitrary bytes). CI runs this on push; use a larger FUZZTIME
+# locally before touching the wire formats.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzLocalModelUnmarshal -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzGlobalModelUnmarshal -fuzztime $(FUZZTIME)
 
 # Full benchmark sweep: one benchmark per paper figure/table plus the
 # ablations. Expect several minutes (Figure 8 runs a 203,000-point study).

@@ -4,15 +4,22 @@
 //
 // Usage:
 //
-//	dbdc-server -addr :7070 -sites 3 -eps 1.2 -minpts 4 [-epsglobal 0]
+//	dbdc-server -addr :7070 -sites 3 -eps 1.2 -minpts 4 [-epsglobal 0] \
+//	    [-quorum 2] [-accept-timeout 30s] [-expect-sites site-1,site-2,site-3]
 //
-// Pair it with dbdc-site processes pointing at the same address.
+// A round completes as soon as all expected sites delivered a model, or at
+// the accept deadline with at least -quorum usable models (the paper's
+// "the server proceeds with the models it has"). The per-site round report
+// — who delivered, who failed and why, who retried — is printed after
+// every round. Pair it with dbdc-site processes pointing at the same
+// address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	lib "github.com/dbdc-go/dbdc"
@@ -21,12 +28,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
-	sites := flag.Int("sites", 2, "number of site connections per round")
+	sites := flag.Int("sites", 2, "number of distinct sites per round")
 	eps := flag.Float64("eps", 0, "Eps_local the sites use (required; validates models)")
 	minPts := flag.Int("minpts", 0, "MinPts the sites use (required)")
 	epsGlobal := flag.Float64("epsglobal", 0, "Eps_global; 0 = paper default (max specific ε-range)")
 	rounds := flag.Int("rounds", 1, "number of DBDC rounds to serve before exiting")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-connection I/O timeout")
+	quorum := flag.Int("quorum", 0, "minimum usable site models per round; 0 = proceed with any")
+	acceptTimeout := flag.Duration("accept-timeout", 0, "accept-phase deadline per round; 0 = -timeout")
+	expectSites := flag.String("expect-sites", "", "comma-separated site ids for per-name failure reporting")
 	flag.Parse()
 
 	if *eps <= 0 || *minPts < 1 {
@@ -43,9 +53,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "dbdc-server: listening on %s for %d sites\n", srv.Addr(), *sites)
+	opts := transport.RoundOptions{
+		Quorum:        *quorum,
+		AcceptTimeout: *acceptTimeout,
+	}
+	if *expectSites != "" {
+		for _, id := range strings.Split(*expectSites, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opts.ExpectedSites = append(opts.ExpectedSites, id)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dbdc-server: listening on %s for %d sites (quorum %d)\n",
+		srv.Addr(), *sites, *quorum)
 	for round := 1; round <= *rounds; round++ {
-		global, err := srv.RunRound()
+		global, report, err := srv.RunRoundOpts(opts)
+		if report != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-server: %s\n", report)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dbdc-server: round %d failed: %v\n", round, err)
 			os.Exit(1)

@@ -27,6 +27,9 @@ func main() {
 	modelKind := flag.String("model", string(lib.RepScor), "local model: rep-scor or rep-kmeans")
 	out := flag.String("o", "", "output file for global labels (default stdout)")
 	timeout := flag.Duration("timeout", 30*time.Second, "I/O timeout")
+	retries := flag.Int("retries", 3, "max upload attempts on transient failures (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff delay between attempts")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff delay cap")
 	serveQueries := flag.String("serve-queries", "", "after the round, serve cluster-membership queries on this address (e.g. :7071) until killed")
 	flag.Parse()
 
@@ -47,7 +50,21 @@ func main() {
 		Local: lib.Params{Eps: *eps, MinPts: *minPts},
 		Model: lib.ModelKind(*modelKind),
 	}
-	report, err := lib.RunSite(*addr, *id, pts, cfg, *timeout)
+	client := &lib.TransportClient{
+		Addr:    *addr,
+		Timeout: *timeout,
+		Retry: lib.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryMax,
+			Jitter:      0.2,
+		},
+		OnRetry: func(attempt int, err error, delay time.Duration) {
+			fmt.Fprintf(os.Stderr, "dbdc-site %s: attempt %d failed (%v), retrying in %s\n",
+				*id, attempt, err, delay.Round(time.Millisecond))
+		},
+	}
+	report, err := lib.RunSiteClient(client, *id, pts, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -64,9 +81,9 @@ func main() {
 		fmt.Fprintln(w, id)
 	}
 	fmt.Fprintf(os.Stderr,
-		"dbdc-site %s: %d points, %d global clusters visible, %d former noise adopted, sent %dB, received %dB\n",
+		"dbdc-site %s: %d points, %d global clusters visible, %d former noise adopted, sent %dB, received %dB, %d attempt(s)\n",
 		*id, len(pts), report.Global.NumClusters, report.Stats.NoiseAdopted,
-		report.BytesSent, report.BytesReceived)
+		report.BytesSent, report.BytesReceived, report.Attempts)
 	if *serveQueries != "" {
 		qs, err := transport.NewSiteQueryServer(*serveQueries, pts, report.Labels, *timeout)
 		if err != nil {

@@ -207,10 +207,37 @@ func NewServer(addr string, expect int, cfg Config, timeout time.Duration) (*Ser
 	return transport.NewServer(addr, expect, cfg, timeout)
 }
 
-// RunSite executes the full site-side pipeline against a remote server.
+// RunSite executes the full site-side pipeline against a remote server,
+// retrying transient transport failures with DefaultRetryPolicy.
 func RunSite(addr, siteID string, pts []Point, cfg Config, timeout time.Duration) (*SiteReport, error) {
 	return transport.RunSite(addr, siteID, pts, cfg, timeout)
 }
+
+// TransportClient is the site side of the round-trip protocol with
+// configurable retry (exponential backoff + jitter) and dialing.
+type TransportClient = transport.Client
+
+// RetryPolicy controls client-side retry of transient transport failures.
+type RetryPolicy = transport.RetryPolicy
+
+// DefaultRetryPolicy is the policy RunSite uses: three attempts, 50ms base
+// delay, 2s cap, 20% jitter.
+func DefaultRetryPolicy() RetryPolicy { return transport.DefaultRetryPolicy() }
+
+// RunSiteClient is RunSite with a caller-configured transport client.
+func RunSiteClient(c *TransportClient, siteID string, pts []Point, cfg Config) (*SiteReport, error) {
+	return transport.RunSiteClient(c, siteID, pts, cfg)
+}
+
+// RoundOptions tunes a server round: quorum, accept deadline and the
+// expected site names for reporting.
+type RoundOptions = transport.RoundOptions
+
+// RoundReport is the per-site outcome of a server round.
+type RoundReport = transport.RoundReport
+
+// SiteOutcome is one site's fate within a RoundReport.
+type SiteOutcome = transport.SiteOutcome
 
 // Incremental is an incrementally maintained DBSCAN clustering (Ester et
 // al. 1998): sites use it to keep their local clustering current as objects

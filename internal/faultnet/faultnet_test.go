@@ -1,0 +1,273 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipe returns a wrapped client conn (faults f applied on the client side)
+// and the raw server side of a loopback TCP connection.
+func pipe(t *testing.T, f Faults) (*Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.conn.Close() })
+	return WrapConn(client, f), r.conn
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	c, peer := pipe(t, Faults{})
+	msg := []byte("hello fault-free world")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	if c.BytesWritten() != len(msg) {
+		t.Fatalf("BytesWritten=%d", c.BytesWritten())
+	}
+}
+
+func TestFailWriteAfter(t *testing.T) {
+	c, _ := pipe(t, Faults{FailWriteAfter: 4})
+	n, err := c.Write([]byte("abcd")) // exactly the threshold: passes
+	if err != nil || n != 4 {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+func TestFailWriteMidBuffer(t *testing.T) {
+	c, peer := pipe(t, Faults{FailWriteAfter: 3})
+	n, err := c.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d bytes before fault, want 3", n)
+	}
+	got := make([]byte, 3)
+	if _, err := io.ReadFull(peer, got); err != nil || string(got) != "abc" {
+		t.Fatalf("peer got %q err=%v", got, err)
+	}
+	// Underlying conn is closed: peer sees EOF.
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after injected failure")
+	}
+}
+
+func TestFailReadAfter(t *testing.T) {
+	c, peer := pipe(t, Faults{FailReadAfter: 5})
+	go peer.Write([]byte("0123456789"))
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+func TestCutAfterWriteTruncates(t *testing.T) {
+	c, peer := pipe(t, Faults{CutAfterWrite: 6})
+	n, err := c.Write([]byte("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("cut write must report success, got n=%d err=%v", n, err)
+	}
+	if c.BytesWritten() != 10 {
+		t.Fatalf("BytesWritten=%d, want 10", c.BytesWritten())
+	}
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "012345" {
+		t.Fatalf("peer got %q, want truncated %q", got, "012345")
+	}
+}
+
+func TestFlipWriteByte(t *testing.T) {
+	c, peer := pipe(t, Faults{FlipWriteByte: 3, FlipMask: 0x01})
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("ab" + string([]byte{'c' ^ 0x01}) + "def")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestStallReadHonorsDeadline(t *testing.T) {
+	c, peer := pipe(t, Faults{StallReadAfter: 2})
+	go peer.Write([]byte("abcdef"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stall error %v is not a timeout net.Error", err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("stall released after %v", el)
+	}
+}
+
+func TestStallUnblocksOnClose(t *testing.T) {
+	c, _ := pipe(t, Faults{StallWriteAfter: 1})
+	c.Write([]byte("x"))
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("y"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("got %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write did not unblock on close")
+	}
+}
+
+func TestWriteLatency(t *testing.T) {
+	c, peer := pipe(t, Faults{WriteLatency: 60 * time.Millisecond})
+	start := time.Now()
+	go func() {
+		got := make([]byte, 2)
+		io.ReadFull(peer, got)
+	}()
+	if _, err := c.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("write returned after %v, latency not injected", el)
+	}
+}
+
+func TestLatencyCutShortByDeadline(t *testing.T) {
+	c, _ := pipe(t, Faults{WriteLatency: 5 * time.Second})
+	c.SetWriteDeadline(time.Now().Add(80 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Write([]byte("ab"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("deadline fired only after %v", el)
+	}
+}
+
+func TestListenerPlanAndRefusal(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewListener(inner, Seq(&Faults{Refuse: true}, nil))
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept() // conn 0 refused, conn 1 returned
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	// First dial: accepted at TCP level, then scripted close.
+	c0, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c0.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c0.Read(make([]byte, 1)); err == nil {
+		t.Fatal("refused conn delivered data")
+	}
+	// Second dial: clean.
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	select {
+	case conn := <-accepted:
+		conn.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("second connection never accepted")
+	}
+	if ln.Refused() != 1 || ln.Accepted() != 1 {
+		t.Fatalf("refused=%d accepted=%d", ln.Refused(), ln.Accepted())
+	}
+}
+
+func TestDialerRefusal(t *testing.T) {
+	d := &Dialer{Plan: Seq(&Faults{Refuse: true})}
+	if _, err := d.DialTimeout("tcp", "127.0.0.1:1", time.Second); !errors.Is(err, ErrRefused) {
+		t.Fatalf("got %v, want ErrRefused", err)
+	}
+	if d.Dials() != 1 {
+		t.Fatalf("dials=%d", d.Dials())
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(42, 0.5, &Faults{Refuse: true})
+	b := RandomPlan(42, 0.5, &Faults{Refuse: true})
+	hits := 0
+	for i := 0; i < 100; i++ {
+		fa, fb := a(i), b(i)
+		if (fa == nil) != (fb == nil) {
+			t.Fatalf("plan disagrees with itself at %d", i)
+		}
+		if fa != nil {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 100 {
+		t.Fatalf("degenerate random plan: %d/100 hits", hits)
+	}
+}

@@ -25,6 +25,15 @@ const (
 	maxWireReps   = 10_000_000
 	maxWireDim    = 1024
 	maxWireSiteID = 4096
+
+	// Minimum wire sizes of one representative (dim prefix + eps +
+	// cluster id, with an empty point) and its global wrapper (site-id
+	// length prefix + global cluster id on top). Used to bound slice
+	// preallocation by the bytes actually present, so a tiny frame
+	// advertising millions of representatives cannot allocate gigabytes
+	// before the decode fails.
+	minWireRep       = 4 + 8 + 4
+	minWireGlobalRep = minWireRep + 4 + 4
 )
 
 type wireWriter struct {
@@ -174,6 +183,9 @@ func (m *LocalModel) UnmarshalBinary(data []byte) error {
 	if r.err == nil && n > maxWireReps {
 		r.fail("representative count %d exceeds limit", n)
 	}
+	if r.err == nil && n*minWireRep > len(data)-r.pos {
+		r.fail("representative count %d exceeds the %d remaining bytes", n, len(data)-r.pos)
+	}
 	if r.err != nil {
 		return r.err
 	}
@@ -188,6 +200,25 @@ func (m *LocalModel) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("model: %d trailing bytes after local model", len(data)-r.pos)
 	}
 	return nil
+}
+
+// PeekLocalSiteID extracts the site id from an encoded local model without
+// decoding the rest, best effort: it returns "" when data does not start
+// like a local model. The transport uses it to name the site behind a
+// partially corrupt upload in its round report.
+func PeekLocalSiteID(data []byte) string {
+	r := &wireReader{data: data}
+	if tag := r.u8(); r.err != nil || tag != tagLocalModel {
+		return ""
+	}
+	if v := r.u8(); r.err != nil || v != wireVersion {
+		return ""
+	}
+	id := r.str(maxWireSiteID)
+	if r.err != nil {
+		return ""
+	}
+	return id
 }
 
 // MarshalBinary encodes the global model in the compact wire format.
@@ -222,6 +253,9 @@ func (g *GlobalModel) UnmarshalBinary(data []byte) error {
 	n := int(r.u32())
 	if r.err == nil && n > maxWireReps {
 		r.fail("representative count %d exceeds limit", n)
+	}
+	if r.err == nil && n*minWireGlobalRep > len(data)-r.pos {
+		r.fail("representative count %d exceeds the %d remaining bytes", n, len(data)-r.pos)
 	}
 	if r.err != nil {
 		return r.err

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+func seedLocal() []byte {
+	m := &LocalModel{
+		SiteID:      "fuzz-site",
+		Kind:        RepScor,
+		EpsLocal:    0.5,
+		MinPts:      4,
+		NumObjects:  42,
+		NumClusters: 2,
+		Reps: []Representative{
+			{Point: geom.Point{1, 2}, Eps: 0.4, LocalCluster: 0},
+			{Point: geom.Point{-3, 0.5}, Eps: 0.3, LocalCluster: 1},
+		},
+	}
+	b, _ := m.MarshalBinary()
+	return b
+}
+
+func seedGlobal() []byte {
+	g := &GlobalModel{
+		EpsGlobal:    0.6,
+		MinPtsGlobal: 2,
+		NumClusters:  1,
+		Reps: []GlobalRepresentative{
+			{
+				Representative: Representative{Point: geom.Point{1, 2}, Eps: 0.4, LocalCluster: 0},
+				SiteID:         "fuzz-site",
+				GlobalCluster:  cluster.ID(0),
+			},
+		},
+	}
+	b, _ := g.MarshalBinary()
+	return b
+}
+
+// FuzzLocalModelUnmarshal asserts no byte sequence can panic the local
+// model decoder or make it allocate unboundedly, and that accepted inputs
+// re-marshal byte-identically (the encoding is canonical).
+func FuzzLocalModelUnmarshal(f *testing.F) {
+	seed := seedLocal()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated
+	f.Add([]byte{})
+	f.Add([]byte{tagLocalModel, wireVersion})
+	// Huge representative count with no bytes behind it.
+	f.Add(append(append([]byte{tagLocalModel, wireVersion}, seed[2:42]...), 0xFF, 0xFF, 0xFF, 0x7F))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m LocalModel
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if len(m.Reps) > len(data) {
+			t.Fatalf("decoded %d representatives from %d bytes", len(m.Reps), len(data))
+		}
+		out, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted model: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("local model did not round-trip canonically")
+		}
+	})
+}
+
+// FuzzGlobalModelUnmarshal is FuzzLocalModelUnmarshal for the global model.
+func FuzzGlobalModelUnmarshal(f *testing.F) {
+	seed := seedGlobal()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte{})
+	f.Add([]byte{tagGlobalModel, wireVersion})
+	f.Add(append(append([]byte{tagGlobalModel, wireVersion}, seed[2:20]...), 0xFF, 0xFF, 0xFF, 0x7F))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g GlobalModel
+		if err := g.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if len(g.Reps) > len(data) {
+			t.Fatalf("decoded %d representatives from %d bytes", len(g.Reps), len(data))
+		}
+		out, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted model: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("global model did not round-trip canonically")
+		}
+	})
+}

@@ -1,8 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/dbdc-go/dbdc/internal/cluster"
@@ -11,20 +14,178 @@ import (
 	"github.com/dbdc-go/dbdc/internal/model"
 )
 
-// Exchange performs the site side of one DBDC round: connect to the
-// server, upload the local model and wait for the global model. It returns
-// the global model together with the payload bytes sent and received.
-func Exchange(addr string, local *model.LocalModel, timeout time.Duration) (*model.GlobalModel, int, int, error) {
+// DialFunc opens a connection; it matches net.DialTimeout so tests can
+// substitute a fault-injecting dialer (internal/faultnet.Dialer.DialTimeout).
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// RetryPolicy controls how Client.SendModel retries transient failures:
+// exponential backoff starting at BaseDelay, doubling per attempt, capped
+// at MaxDelay, with multiplicative jitter of ±Jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values below 1 mean a single attempt, i.e. no retry.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff; 0 means 2s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of the delay randomized around its nominal
+	// value, in [0,1]. 0 disables jitter (deterministic delays).
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the policy RunSite uses: three attempts, 50ms base
+// delay, 2s cap, 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.2}
+}
+
+// delay returns the backoff before retry number `failures` (1-based count
+// of failures so far).
+func (p RetryPolicy) delay(failures int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 && rng != nil {
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// permanentError marks failures that a retry cannot fix (the server
+// explicitly rejected the round, or replied with a well-formed but invalid
+// model). Everything else — dial errors, I/O errors, checksum mismatches —
+// is considered transient.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permanent(err error) error { return &permanentError{err: err} }
+
+// Retryable reports whether SendModel would retry after err.
+func Retryable(err error) bool {
+	var p *permanentError
+	return err != nil && !errors.As(err, &p)
+}
+
+// SendStats describes what one SendModel call cost on the wire.
+type SendStats struct {
+	// Attempts is the number of connection attempts made (1 = no retry).
+	Attempts int
+	// BytesSent and BytesReceived are summed over all attempts.
+	BytesSent     int
+	BytesReceived int
+}
+
+// Client is the site side of the DBDC round-trip protocol with retry. The
+// zero value is not usable; set at least Addr.
+type Client struct {
+	// Addr is the server address ("host:port").
+	Addr string
+	// Timeout bounds dialing and each connection's I/O; 0 means 30s.
+	Timeout time.Duration
+	// Retry controls backoff; the zero value means a single attempt.
+	Retry RetryPolicy
+	// Dial opens connections; nil means net.DialTimeout. Tests inject
+	// faultnet dialers here.
+	Dial DialFunc
+	// Rand is the jitter source; nil means a time-seeded source. Fix it
+	// for deterministic backoff in tests.
+	Rand *rand.Rand
+	// OnRetry, when set, is invoked before each backoff sleep with the
+	// attempt number that failed, its error and the chosen delay.
+	OnRetry func(attempt int, err error, delay time.Duration)
+
+	rngOnce sync.Once
+	rng     *rand.Rand
+}
+
+func (c *Client) jitterRand() *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	c.rngOnce.Do(func() { c.rng = rand.New(rand.NewSource(time.Now().UnixNano())) })
+	return c.rng
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	dial := c.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	conn, err := dial("tcp", c.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.Addr, err)
+	}
+	return conn, nil
+}
+
+// SendModel uploads the local model and waits for the global model,
+// reconnecting and resending the full model on transient failures per the
+// retry policy. The returned stats hold the attempt count and the wire
+// cost summed over all attempts.
+func (c *Client) SendModel(local *model.LocalModel) (*model.GlobalModel, SendStats, error) {
+	var stats SendStats
 	payload, err := local.MarshalBinary()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, stats, err
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		stats.Attempts = attempt
+		global, sent, received, err := c.exchangeOnce(payload)
+		stats.BytesSent += sent
+		stats.BytesReceived += received
+		if err == nil {
+			return global, stats, nil
+		}
+		lastErr = err
+		if !Retryable(err) || attempt == attempts {
+			break
+		}
+		delay := c.Retry.delay(attempt, c.jitterRand())
+		if c.OnRetry != nil {
+			c.OnRetry(attempt, err, delay)
+		}
+		time.Sleep(delay)
+	}
+	return nil, stats, fmt.Errorf("transport: send model (%d attempt(s)): %w", stats.Attempts, lastErr)
+}
+
+// exchangeOnce performs a single connect–upload–download round trip.
+func (c *Client) exchangeOnce(payload []byte) (*model.GlobalModel, int, int, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := c.dial()
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, 0, 0, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(timeout))
@@ -40,17 +201,29 @@ func Exchange(addr string, local *model.LocalModel, timeout time.Duration) (*mod
 	case MsgGlobalModel:
 		var global model.GlobalModel
 		if err := global.UnmarshalBinary(reply); err != nil {
-			return nil, sent, received, err
+			// The payload passed the CRC, so this is a server-side
+			// encoding problem a retry will reproduce.
+			return nil, sent, received, permanent(err)
 		}
 		if err := global.Validate(); err != nil {
-			return nil, sent, received, err
+			return nil, sent, received, permanent(err)
 		}
 		return &global, sent, received, nil
 	case MsgError:
-		return nil, sent, received, fmt.Errorf("transport: server reported: %s", reply)
+		return nil, sent, received, permanent(fmt.Errorf("transport: server reported: %s", reply))
 	default:
-		return nil, sent, received, fmt.Errorf("transport: unexpected message type 0x%02x", msgType)
+		return nil, sent, received, permanent(fmt.Errorf("transport: unexpected message type 0x%02x", msgType))
 	}
+}
+
+// Exchange performs the site side of one DBDC round without retry: connect
+// to the server, upload the local model and wait for the global model. It
+// returns the global model together with the payload bytes sent and
+// received. Use a Client with a RetryPolicy for fault tolerance.
+func Exchange(addr string, local *model.LocalModel, timeout time.Duration) (*model.GlobalModel, int, int, error) {
+	c := &Client{Addr: addr, Timeout: timeout}
+	global, stats, err := c.SendModel(local)
+	return global, stats.BytesSent, stats.BytesReceived, err
 }
 
 // SiteReport is the outcome of RunSite.
@@ -61,29 +234,39 @@ type SiteReport struct {
 	Stats dbdc.RelabelStats
 	// Global is the received global model.
 	Global *model.GlobalModel
-	// BytesSent and BytesReceived are the wire costs of the round.
+	// BytesSent and BytesReceived are the wire costs of the round,
+	// summed over all attempts.
 	BytesSent     int
 	BytesReceived int
+	// Attempts is the number of connection attempts the upload needed.
+	Attempts int
 }
 
 // RunSite executes the full site-side DBDC pipeline against a remote
-// server: local clustering, model upload, global model download,
-// relabeling.
+// server: local clustering, model upload (with the default retry policy),
+// global model download, relabeling.
 func RunSite(addr, siteID string, pts []geom.Point, cfg dbdc.Config, timeout time.Duration) (*SiteReport, error) {
+	return RunSiteClient(&Client{Addr: addr, Timeout: timeout, Retry: DefaultRetryPolicy()}, siteID, pts, cfg)
+}
+
+// RunSiteClient is RunSite with a caller-configured transport client
+// (retry policy, dial function, jitter source).
+func RunSiteClient(c *Client, siteID string, pts []geom.Point, cfg dbdc.Config) (*SiteReport, error) {
 	outcome, err := dbdc.LocalStep(siteID, pts, cfg)
 	if err != nil {
 		return nil, err
 	}
-	global, sent, received, err := Exchange(addr, outcome.Model, timeout)
+	global, stats, err := c.SendModel(outcome.Model)
 	if err != nil {
 		return nil, err
 	}
-	labels, stats := dbdc.RelabelSite(outcome, global)
+	labels, relabel := dbdc.RelabelSite(outcome, global)
 	return &SiteReport{
 		Labels:        labels,
-		Stats:         stats,
+		Stats:         relabel,
 		Global:        global,
-		BytesSent:     sent,
-		BytesReceived: received,
+		BytesSent:     stats.BytesSent,
+		BytesReceived: stats.BytesReceived,
+		Attempts:      stats.Attempts,
 	}, nil
 }

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// TestDifferentialExecutionModes is the differential test of the three
+// execution modes DBDC has: the in-process orchestrator run sequentially,
+// the same orchestrator with one goroutine per site, and a full loopback
+// TCP round through the transport. For randomized datasets and configs all
+// three must produce the identical global model (byte-identical wire
+// encoding — the pipeline is deterministic) and identical labelings.
+func TestDifferentialExecutionModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+
+			// Random scenario: 2-4 sites, each a mix of shared and
+			// private blobs plus uniform noise.
+			nSites := 2 + rng.Intn(3)
+			shared := blob(rng, 0, 0, 150+rng.Intn(100))
+			chunk := len(shared) / nSites
+			sites := make([]dbdc.Site, nSites)
+			for i := range sites {
+				pts := append([]geom.Point(nil), shared[i*chunk:(i+1)*chunk]...)
+				// Private cluster, sometimes shared across two sites.
+				cx, cy := 4+3*rng.Float64(), -2+4*rng.Float64()
+				pts = append(pts, blob(rng, cx, cy, 60+rng.Intn(60))...)
+				for j := 0; j < 15; j++ { // noise
+					pts = append(pts, geom.Point{rng.Float64()*20 - 10, rng.Float64()*20 - 10})
+				}
+				sites[i] = dbdc.Site{ID: fmt.Sprintf("site-%d", i+1), Points: pts}
+			}
+			cfg := dbdc.Config{
+				Local: dbscan.Params{
+					Eps:    0.35 + 0.3*rng.Float64(),
+					MinPts: 4 + rng.Intn(3),
+				},
+			}
+			if rng.Intn(2) == 1 {
+				cfg.Model = model.RepKMeans
+			}
+
+			seqCfg := cfg
+			seqCfg.Sequential = true
+			seq, err := dbdc.Run(sites, seqCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conc, err := dbdc.Run(sites, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			seqGlobal := mustMarshalGlobal(t, seq.Global)
+			concGlobal := mustMarshalGlobal(t, conc.Global)
+			if !bytes.Equal(seqGlobal, concGlobal) {
+				t.Fatal("sequential and concurrent runs produced different global models")
+			}
+			for _, s := range sites {
+				a := seq.Sites[s.ID].Labels
+				b := conc.Sites[s.ID].Labels
+				if len(a) != len(b) {
+					t.Fatalf("site %s: labeling lengths differ", s.ID)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("site %s: label %d differs: %v vs %v", s.ID, i, a[i], b[i])
+					}
+				}
+			}
+
+			// Full loopback transport round.
+			srv, err := NewServer("127.0.0.1:0", nSites, cfg, 10*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			done := make(chan error, 1)
+			var tcpGlobal *model.GlobalModel
+			go func() {
+				g, err := srv.RunRound()
+				tcpGlobal = g
+				done <- err
+			}()
+			var wg sync.WaitGroup
+			labels := make([]cluster.Labeling, nSites)
+			errs := make([]error, nSites)
+			for i, s := range sites {
+				wg.Add(1)
+				go func(i int, s dbdc.Site) {
+					defer wg.Done()
+					rep, err := RunSite(srv.Addr(), s.ID, s.Points, cfg, 10*time.Second)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					labels[i] = rep.Labels
+				}(i, s)
+			}
+			wg.Wait()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("site %s: %v", sites[i].ID, err)
+				}
+			}
+			if !bytes.Equal(mustMarshalGlobal(t, tcpGlobal), seqGlobal) {
+				t.Fatal("transport round produced a different global model than the in-process run")
+			}
+			for i, s := range sites {
+				want := seq.Sites[s.ID].Labels
+				for j := range want {
+					if labels[i][j] != want[j] {
+						t.Fatalf("site %s: transport label %d differs", s.ID, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func mustMarshalGlobal(t *testing.T, g *model.GlobalModel) []byte {
+	t.Helper()
+	if g == nil {
+		t.Fatal("nil global model")
+	}
+	b, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,567 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/faultnet"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// newFaultServer builds a server whose listener injects the given plan.
+func newFaultServer(t *testing.T, plan faultnet.Plan, expect int, timeout time.Duration) (*Server, *faultnet.Listener) {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := faultnet.NewListener(inner, plan)
+	srv, err := NewServerListener(fln, expect, testCfg(), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, fln
+}
+
+// runRound runs RunRoundOpts in the background.
+func runRound(srv *Server, opts RoundOptions) chan struct {
+	global *model.GlobalModel
+	report *RoundReport
+	err    error
+} {
+	done := make(chan struct {
+		global *model.GlobalModel
+		report *RoundReport
+		err    error
+	}, 1)
+	go func() {
+		g, r, err := srv.RunRoundOpts(opts)
+		done <- struct {
+			global *model.GlobalModel
+			report *RoundReport
+			err    error
+		}{g, r, err}
+	}()
+	return done
+}
+
+// fastRetry is a deterministic, quick retry policy for tests.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// TestFaultScenarios is the table-driven fault matrix of the transport:
+// every scenario wires scripted faultnet failures into a live round and
+// asserts both the site-side and the server-side outcome. All scripts are
+// deterministic: faults fire at fixed byte offsets on fixed connection
+// indices, and data comes from fixed seeds.
+func TestFaultScenarios(t *testing.T) {
+	type outcome struct {
+		global   *model.GlobalModel
+		report   *RoundReport
+		roundErr error
+		site     *SiteReport
+		siteErr  error
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T) outcome
+		want func(t *testing.T, o outcome)
+	}{
+		{
+			// The classic transient failure: the connection dies while
+			// the site uploads. The client must reconnect, resend the
+			// full model and complete the round.
+			name: "mid-upload drop, retry succeeds",
+			run: func(t *testing.T) outcome {
+				srv, _ := newFaultServer(t, nil, 1, 5*time.Second)
+				done := runRound(srv, RoundOptions{AcceptTimeout: 5 * time.Second})
+				dialer := &faultnet.Dialer{Plan: faultnet.Seq(
+					&faultnet.Faults{CutAfterWrite: 16}, // attempt 1 truncates mid-frame
+				)}
+				c := &Client{
+					Addr:    srv.Addr(),
+					Timeout: 500 * time.Millisecond, // bounds attempt 1's wait for a reply
+					Retry:   fastRetry(3),
+					Dial:    dialer.DialTimeout,
+					Rand:    rand.New(rand.NewSource(1)),
+				}
+				rng := rand.New(rand.NewSource(10))
+				rep, siteErr := RunSiteClient(c, "site-1", blob(rng, 0, 0, 200), testCfg())
+				r := <-done
+				return outcome{global: r.global, report: r.report, roundErr: r.err, site: rep, siteErr: siteErr}
+			},
+			want: func(t *testing.T, o outcome) {
+				if o.siteErr != nil {
+					t.Fatalf("site failed despite retry: %v", o.siteErr)
+				}
+				if o.site.Attempts != 2 {
+					t.Errorf("site attempts = %d, want 2", o.site.Attempts)
+				}
+				if o.roundErr != nil {
+					t.Fatalf("round failed: %v", o.roundErr)
+				}
+				if o.global == nil || o.global.NumClusters != 1 {
+					t.Fatalf("global model: %+v", o.global)
+				}
+				if o.report.OK != 1 {
+					t.Errorf("report.OK = %d, want 1\n%s", o.report.OK, o.report)
+				}
+				if o.report.Conns < 2 {
+					t.Errorf("report.Conns = %d, want >= 2 (failed + retried)", o.report.Conns)
+				}
+			},
+		},
+		{
+			// A site that never connects must not hang the round: the
+			// accept deadline fires and the quorum completes the round
+			// with the sites that did show up.
+			name: "absent site, quorum completes",
+			run: func(t *testing.T) outcome {
+				srv, _ := newFaultServer(t, nil, 2, 5*time.Second)
+				done := runRound(srv, RoundOptions{
+					Quorum:        1,
+					AcceptTimeout: 400 * time.Millisecond,
+					ExpectedSites: []string{"site-1", "ghost"},
+				})
+				rng := rand.New(rand.NewSource(11))
+				rep, siteErr := RunSite(srv.Addr(), "site-1", blob(rng, 0, 0, 200), testCfg(), 5*time.Second)
+				r := <-done
+				return outcome{global: r.global, report: r.report, roundErr: r.err, site: rep, siteErr: siteErr}
+			},
+			want: func(t *testing.T, o outcome) {
+				if o.siteErr != nil {
+					t.Fatalf("healthy site failed: %v", o.siteErr)
+				}
+				if o.roundErr != nil {
+					t.Fatalf("round failed: %v", o.roundErr)
+				}
+				var ghost *SiteOutcome
+				for i := range o.report.Sites {
+					if o.report.Sites[i].SiteID == "ghost" {
+						ghost = &o.report.Sites[i]
+					}
+				}
+				if ghost == nil || ghost.OK {
+					t.Fatalf("report does not name the absent site:\n%s", o.report)
+				}
+				if !strings.Contains(ghost.Reason, "no connection") {
+					t.Errorf("ghost reason = %q", ghost.Reason)
+				}
+			},
+		},
+		{
+			// A bit flip in the upload must surface as ErrChecksum on
+			// the server, be attributed to the right site (the id field
+			// decodes before the flipped byte), and must not take the
+			// round down for the healthy site.
+			name: "corrupt frame, typed error, round proceeds",
+			run: func(t *testing.T) outcome {
+				srv, _ := newFaultServer(t, nil, 2, 5*time.Second)
+				done := runRound(srv, RoundOptions{
+					Quorum:        1,
+					AcceptTimeout: 600 * time.Millisecond,
+				})
+				// Flip a byte deep in the payload (rep coordinates),
+				// well past the header and the site-id field.
+				dialer := &faultnet.Dialer{Plan: faultnet.Always(
+					&faultnet.Faults{FlipWriteByte: 60},
+				)}
+				bad := &Client{
+					Addr:    srv.Addr(),
+					Timeout: 2 * time.Second,
+					Retry:   RetryPolicy{MaxAttempts: 1},
+					Dial:    dialer.DialTimeout,
+				}
+				rng := rand.New(rand.NewSource(12))
+				badModel := mustLocalModel(t, "corrupt-site", blob(rng, 0, 0, 120))
+				goodPts := blob(rng, 0, 0, 200)
+				var wg sync.WaitGroup
+				var badErr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, _, badErr = bad.SendModel(badModel)
+				}()
+				rep, siteErr := RunSite(srv.Addr(), "good-site", goodPts, testCfg(), 5*time.Second)
+				wg.Wait()
+				r := <-done
+				o := outcome{global: r.global, report: r.report, roundErr: r.err, site: rep, siteErr: siteErr}
+				if badErr == nil {
+					t.Error("corrupt site's upload succeeded")
+				}
+				return o
+			},
+			want: func(t *testing.T, o outcome) {
+				if o.siteErr != nil {
+					t.Fatalf("healthy site failed: %v", o.siteErr)
+				}
+				if o.roundErr != nil {
+					t.Fatalf("round failed: %v", o.roundErr)
+				}
+				var corrupt *SiteOutcome
+				for i := range o.report.Sites {
+					if o.report.Sites[i].SiteID == "corrupt-site" {
+						corrupt = &o.report.Sites[i]
+					}
+				}
+				if corrupt == nil || corrupt.OK {
+					t.Fatalf("report does not name the corrupt site:\n%s", o.report)
+				}
+				if !strings.Contains(corrupt.Reason, "checksum") {
+					t.Errorf("corrupt reason = %q, want checksum mismatch", corrupt.Reason)
+				}
+			},
+		},
+		{
+			// A site that stalls mid-upload must be cut off by the
+			// round deadline while the healthy site completes.
+			name: "stalled site, deadline fires",
+			run: func(t *testing.T) outcome {
+				srv, _ := newFaultServer(t, nil, 2, 5*time.Second)
+				done := runRound(srv, RoundOptions{
+					Quorum:        1,
+					AcceptTimeout: 500 * time.Millisecond,
+				})
+				dialer := &faultnet.Dialer{Plan: faultnet.Always(
+					&faultnet.Faults{StallWriteAfter: 16},
+				)}
+				stalled := &Client{
+					Addr:    srv.Addr(),
+					Timeout: 700 * time.Millisecond, // the stalled write unblocks here
+					Retry:   RetryPolicy{MaxAttempts: 1},
+					Dial:    dialer.DialTimeout,
+				}
+				rng := rand.New(rand.NewSource(13))
+				stalledModel := mustLocalModel(t, "stalled-site", blob(rng, 0, 0, 120))
+				goodPts := blob(rng, 0, 0, 200)
+				var wg sync.WaitGroup
+				var stallErr error
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_, _, stallErr = stalled.SendModel(stalledModel)
+				}()
+				start := time.Now()
+				rep, siteErr := RunSite(srv.Addr(), "good-site", goodPts, testCfg(), 5*time.Second)
+				r := <-done
+				if el := time.Since(start); el > 3*time.Second {
+					t.Errorf("round took %v, deadline did not fire", el)
+				}
+				wg.Wait()
+				o := outcome{global: r.global, report: r.report, roundErr: r.err, site: rep, siteErr: siteErr}
+				if stallErr == nil {
+					t.Error("stalled site's upload succeeded")
+				}
+				return o
+			},
+			want: func(t *testing.T, o outcome) {
+				if o.siteErr != nil {
+					t.Fatalf("healthy site failed: %v", o.siteErr)
+				}
+				if o.roundErr != nil {
+					t.Fatalf("round failed: %v", o.roundErr)
+				}
+				if o.report.OK != 1 || o.report.Failed < 1 {
+					t.Errorf("report ok=%d failed=%d\n%s", o.report.OK, o.report.Failed, o.report)
+				}
+			},
+		},
+		{
+			// Scripted refusal on the server side: the first connection
+			// is reset before the protocol starts; the retry lands on a
+			// clean connection.
+			name: "connection refused once, retry succeeds",
+			run: func(t *testing.T) outcome {
+				srv, _ := newFaultServer(t, faultnet.Seq(
+					&faultnet.Faults{Refuse: true},
+				), 1, 5*time.Second)
+				done := runRound(srv, RoundOptions{AcceptTimeout: 5 * time.Second})
+				c := &Client{
+					Addr:    srv.Addr(),
+					Timeout: 500 * time.Millisecond,
+					Retry:   fastRetry(3),
+					Rand:    rand.New(rand.NewSource(2)),
+				}
+				rng := rand.New(rand.NewSource(14))
+				rep, siteErr := RunSiteClient(c, "site-1", blob(rng, 0, 0, 200), testCfg())
+				r := <-done
+				return outcome{global: r.global, report: r.report, roundErr: r.err, site: rep, siteErr: siteErr}
+			},
+			want: func(t *testing.T, o outcome) {
+				if o.siteErr != nil {
+					t.Fatalf("site failed despite retry: %v", o.siteErr)
+				}
+				if o.site.Attempts < 2 {
+					t.Errorf("site attempts = %d, want >= 2", o.site.Attempts)
+				}
+				if o.roundErr != nil || o.global == nil {
+					t.Fatalf("round: global=%v err=%v", o.global, o.roundErr)
+				}
+			},
+		},
+		{
+			// Injected latency slows the round down but changes nothing
+			// about its outcome.
+			name: "slow link, round still completes",
+			run: func(t *testing.T) outcome {
+				srv, _ := newFaultServer(t, faultnet.Always(
+					&faultnet.Faults{ReadLatency: 20 * time.Millisecond},
+				), 1, 5*time.Second)
+				done := runRound(srv, RoundOptions{AcceptTimeout: 5 * time.Second})
+				rng := rand.New(rand.NewSource(15))
+				rep, siteErr := RunSite(srv.Addr(), "site-1", blob(rng, 0, 0, 200), testCfg(), 5*time.Second)
+				r := <-done
+				return outcome{global: r.global, report: r.report, roundErr: r.err, site: rep, siteErr: siteErr}
+			},
+			want: func(t *testing.T, o outcome) {
+				if o.siteErr != nil || o.roundErr != nil {
+					t.Fatalf("site=%v round=%v", o.siteErr, o.roundErr)
+				}
+				if o.report.OK != 1 {
+					t.Errorf("report.OK = %d", o.report.OK)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tc.want(t, tc.run(t))
+		})
+	}
+}
+
+// mustLocalModel clusters pts locally and returns the model.
+func mustLocalModel(t *testing.T, siteID string, pts []geom.Point) *model.LocalModel {
+	t.Helper()
+	outcome, err := dbdc.LocalStep(siteID, pts, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outcome.Model
+}
+
+// TestQuorumRoundWithPermanentFailure is the acceptance scenario: four
+// sites, one scripted to fail permanently mid-upload. With Quorum 3 the
+// round completes on the three healthy sites and the report names the
+// failed site with a reason.
+func TestQuorumRoundWithPermanentFailure(t *testing.T) {
+	srv, _ := newFaultServer(t, nil, 4, 5*time.Second)
+	done := runRound(srv, RoundOptions{
+		Quorum:        3,
+		AcceptTimeout: 700 * time.Millisecond,
+		ExpectedSites: []string{"site-1", "site-2", "site-3", "site-4"},
+	})
+	rng := rand.New(rand.NewSource(20))
+	shared := blob(rng, 0, 0, 400)
+	data := map[string][]geom.Point{
+		"site-1": shared[:100],
+		"site-2": shared[100:200],
+		"site-3": shared[200:300],
+		"site-4": shared[300:],
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	siteErrs := make(map[string]error)
+	for id, pts := range data {
+		wg.Add(1)
+		go func(id string, pts []geom.Point) {
+			defer wg.Done()
+			c := &Client{
+				Addr:    srv.Addr(),
+				Timeout: 3 * time.Second,
+				Retry:   fastRetry(3),
+				Rand:    rand.New(rand.NewSource(3)),
+			}
+			if id == "site-4" {
+				// Permanent failure: every attempt truncates the upload
+				// mid-frame.
+				dialer := &faultnet.Dialer{Plan: faultnet.Always(
+					&faultnet.Faults{CutAfterWrite: 16},
+				)}
+				c.Dial = dialer.DialTimeout
+				c.Timeout = 200 * time.Millisecond
+			}
+			_, err := RunSiteClient(c, id, pts, testCfg())
+			mu.Lock()
+			siteErrs[id] = err
+			mu.Unlock()
+		}(id, pts)
+	}
+	wg.Wait()
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("round failed: %v\n%s", r.err, r.report)
+	}
+	if r.global == nil || r.global.NumClusters != 1 {
+		t.Fatalf("global model: %+v", r.global)
+	}
+	for _, id := range []string{"site-1", "site-2", "site-3"} {
+		if siteErrs[id] != nil {
+			t.Errorf("healthy site %s failed: %v", id, siteErrs[id])
+		}
+	}
+	if siteErrs["site-4"] == nil {
+		t.Error("permanently failing site succeeded")
+	}
+	if r.report.OK != 3 || r.report.Quorum != 3 {
+		t.Fatalf("report ok=%d quorum=%d\n%s", r.report.OK, r.report.Quorum, r.report)
+	}
+	var bad *SiteOutcome
+	for i := range r.report.Sites {
+		if r.report.Sites[i].SiteID == "site-4" && !r.report.Sites[i].OK {
+			bad = &r.report.Sites[i]
+		}
+	}
+	if bad == nil {
+		t.Fatalf("report does not name site-4 as failed:\n%s", r.report)
+	}
+	if bad.Reason == "" {
+		t.Error("site-4 failure has no reason")
+	}
+}
+
+// TestQuorumNotMet: when fewer sites than the quorum deliver, the round
+// must fail with a clear error and the healthy sites must be told.
+func TestQuorumNotMet(t *testing.T) {
+	srv, _ := newFaultServer(t, nil, 3, 5*time.Second)
+	done := runRound(srv, RoundOptions{
+		Quorum:        2,
+		AcceptTimeout: 300 * time.Millisecond,
+	})
+	rng := rand.New(rand.NewSource(21))
+	_, siteErr := RunSite(srv.Addr(), "site-1", blob(rng, 0, 0, 200), testCfg(), 2*time.Second)
+	r := <-done
+	if r.err == nil {
+		t.Fatal("round with 1 of 2 quorum succeeded")
+	}
+	if !strings.Contains(r.err.Error(), "quorum") {
+		t.Errorf("round error = %v, want quorum failure", r.err)
+	}
+	if r.report == nil || r.report.OK != 1 {
+		t.Fatalf("report: %+v", r.report)
+	}
+	// The healthy site gets the quorum failure as a server-reported
+	// error rather than a hang or a bare connection reset. RunSite's
+	// default policy treats it as permanent (no pointless retries).
+	if siteErr == nil {
+		t.Fatal("healthy site got no error from a failed round")
+	}
+	if !strings.Contains(siteErr.Error(), "quorum") {
+		t.Errorf("site error = %v, want server-reported quorum failure", siteErr)
+	}
+}
+
+// TestAcceptDeadlineRegression guards the historical bug where RunRound
+// set deadlines only after Accept returned: with one connected-but-silent
+// client and one absent site the accept loop hung forever. Now the
+// accept-phase deadline bounds the round.
+func TestAcceptDeadlineRegression(t *testing.T) {
+	srv, _ := newFaultServer(t, nil, 2, 400*time.Millisecond)
+	done := runRound(srv, RoundOptions{}) // default options: deadline = server timeout
+	// One client connects and sends nothing. The second never connects,
+	// so the old accept loop would block in Accept with no deadline.
+	silent, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	select {
+	case r := <-done:
+		// No usable model at all: the round must fail, not hang.
+		if r.err == nil {
+			t.Fatal("round with zero models succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunRound hung: accept-phase deadline not applied")
+	}
+}
+
+// TestRetryPolicyBackoff pins the backoff schedule: exponential doubling
+// from BaseDelay, capped at MaxDelay, deterministic without jitter.
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		45 * time.Millisecond, 45 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.delay(i+1, nil); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Jitter stays within ±Jitter of the nominal delay.
+	p.Jitter = 0.5
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		d := p.delay(1, rng)
+		if d < 5*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [5ms,15ms]", d)
+		}
+	}
+}
+
+// TestRetryGivesUpOnPermanentError: a server-reported error must not be
+// retried.
+func TestRetryGivesUpOnPermanentError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			ReadFrame(conn)
+			WriteFrame(conn, MsgError, []byte("round failed"))
+			conn.Close()
+		}
+	}()
+	c := &Client{Addr: ln.Addr().String(), Timeout: time.Second, Retry: fastRetry(5)}
+	m := &model.LocalModel{SiteID: "s", Kind: model.RepScor, EpsLocal: 1, MinPts: 3, NumObjects: 1}
+	_, stats, err := c.SendModel(m)
+	if err == nil || !strings.Contains(err.Error(), "round failed") {
+		t.Fatalf("got %v", err)
+	}
+	if Retryable(err) {
+		t.Error("server-reported error classified retryable")
+	}
+	if stats.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on permanent error)", stats.Attempts)
+	}
+}
+
+// TestRetryExhaustion: with every attempt failing, SendModel reports the
+// attempt count and the last error.
+func TestRetryExhaustion(t *testing.T) {
+	dialer := &faultnet.Dialer{Plan: faultnet.Always(&faultnet.Faults{Refuse: true})}
+	c := &Client{
+		Addr:    "127.0.0.1:1",
+		Timeout: time.Second,
+		Retry:   fastRetry(3),
+		Dial:    dialer.DialTimeout,
+	}
+	m := &model.LocalModel{SiteID: "s", Kind: model.RepScor, EpsLocal: 1, MinPts: 3, NumObjects: 1}
+	_, stats, err := c.SendModel(m)
+	if err == nil {
+		t.Fatal("send to refusing dialer succeeded")
+	}
+	if !errors.Is(err, faultnet.ErrRefused) {
+		t.Errorf("error %v does not wrap the dial failure", err)
+	}
+	if stats.Attempts != 3 || dialer.Dials() != 3 {
+		t.Errorf("attempts=%d dials=%d, want 3/3", stats.Attempts, dialer.Dials())
+	}
+}

@@ -5,12 +5,20 @@
 // one synchronous round trip per site. All payloads use the compact binary
 // encoding of the model package, and both directions count bytes so the
 // transmission-cost claims can be measured rather than asserted.
+//
+// The transport is built to survive faults, not just the happy path: frames
+// carry a CRC32 so corruption is detected instead of decoded, clients retry
+// transient failures with exponential backoff (RetryPolicy), and the server
+// runs rounds under an accept deadline with a configurable quorum so a
+// missing site degrades the round instead of hanging it. The fault matrix
+// is exercised by the tests in this package via internal/faultnet.
 package transport
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -25,26 +33,48 @@ const (
 	MsgError byte = 0x03
 )
 
+// FrameVersion is the wire protocol version. Version 2 added the version
+// byte itself and a CRC32 of the payload to the frame header; version 1
+// frames (4-byte length + type, no checksum) are rejected.
+const FrameVersion byte = 2
+
 // MaxFrameSize bounds a frame payload (64 MiB) so a corrupt length prefix
 // cannot exhaust memory.
 const MaxFrameSize = 64 << 20
 
-// frame header: 4-byte little-endian payload length, 1-byte message type.
-const frameHeaderSize = 5
+// Frame header layout (little-endian):
+//
+//	[0]    version (FrameVersion)
+//	[1]    message type
+//	[2:6]  payload length
+//	[6:10] CRC32 (IEEE) of the payload
+const frameHeaderSize = 10
 
-// ErrFrameTooLarge is returned when a frame advertises a payload beyond
-// MaxFrameSize.
-var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+// Typed frame errors. Callers should match with errors.Is: the returned
+// errors wrap these sentinels with context.
+var (
+	// ErrFrameTooLarge is returned when a frame advertises a payload
+	// beyond MaxFrameSize.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+	// ErrChecksum is returned when a payload does not match the CRC32 in
+	// the frame header — the bytes were corrupted in flight.
+	ErrChecksum = errors.New("transport: frame checksum mismatch")
+	// ErrFrameVersion is returned when the peer speaks a different frame
+	// version.
+	ErrFrameVersion = errors.New("transport: unsupported frame version")
+)
 
 // WriteFrame writes one protocol frame and returns the number of bytes put
 // on the wire.
 func WriteFrame(w io.Writer, msgType byte, payload []byte) (int, error) {
 	if len(payload) > MaxFrameSize {
-		return 0, ErrFrameTooLarge
+		return 0, fmt.Errorf("%w: payload is %d bytes", ErrFrameTooLarge, len(payload))
 	}
 	header := make([]byte, frameHeaderSize)
-	binary.LittleEndian.PutUint32(header, uint32(len(payload)))
-	header[4] = msgType
+	header[0] = FrameVersion
+	header[1] = msgType
+	binary.LittleEndian.PutUint32(header[2:6], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[6:10], crc32.ChecksumIEEE(payload))
 	if _, err := w.Write(header); err != nil {
 		return 0, fmt.Errorf("transport: writing frame header: %w", err)
 	}
@@ -54,20 +84,34 @@ func WriteFrame(w io.Writer, msgType byte, payload []byte) (int, error) {
 	return frameHeaderSize + len(payload), nil
 }
 
-// ReadFrame reads one protocol frame and returns its type, payload and size
-// on the wire.
+// ReadFrame reads one protocol frame, verifies its checksum and returns its
+// type, payload and size on the wire. Corrupt input yields typed errors:
+// ErrFrameVersion, ErrFrameTooLarge or ErrChecksum (all wrapped, match with
+// errors.Is), never a garbage payload.
 func ReadFrame(r io.Reader) (msgType byte, payload []byte, n int, err error) {
 	header := make([]byte, frameHeaderSize)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return 0, nil, 0, fmt.Errorf("transport: reading frame header: %w", err)
 	}
-	size := binary.LittleEndian.Uint32(header)
-	if size > MaxFrameSize {
-		return 0, nil, 0, ErrFrameTooLarge
+	if header[0] != FrameVersion {
+		return 0, nil, 0, fmt.Errorf("%w: got %d, want %d", ErrFrameVersion, header[0], FrameVersion)
 	}
+	size := binary.LittleEndian.Uint32(header[2:6])
+	if size > MaxFrameSize {
+		return 0, nil, 0, fmt.Errorf("%w: header advertises %d bytes", ErrFrameTooLarge, size)
+	}
+	wantCRC := binary.LittleEndian.Uint32(header[6:10])
 	payload = make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, 0, fmt.Errorf("transport: reading frame payload: %w", err)
 	}
-	return header[4], payload, frameHeaderSize + int(size), nil
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		// The corrupt payload is returned alongside ErrChecksum so
+		// callers can attempt best-effort diagnostics (e.g. naming the
+		// site behind a flipped-bit upload); it must never be decoded
+		// as a model.
+		return header[1], payload, frameHeaderSize + int(size),
+			fmt.Errorf("%w: payload CRC 0x%08x, header says 0x%08x", ErrChecksum, got, wantCRC)
+	}
+	return header[1], payload, frameHeaderSize + int(size), nil
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -96,6 +97,9 @@ func (s *SiteQueryServer) handleQuery(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(s.timeout))
 	msgType, payload, _, err := ReadFrame(conn)
 	if err != nil {
+		if errors.Is(err, ErrChecksum) || errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameVersion) {
+			WriteFrame(conn, MsgError, []byte(err.Error()))
+		}
 		return
 	}
 	if msgType != MsgClusterQuery || len(payload) != 4 {
@@ -140,6 +144,11 @@ func decodePoints(buf []byte) ([]geom.Point, error) {
 	dim := int(binary.LittleEndian.Uint32(buf[4:]))
 	if dim > 1024 || count > 100_000_000 {
 		return nil, fmt.Errorf("transport: implausible point list %dx%d", count, dim)
+	}
+	if dim == 0 && count > 0 {
+		// Zero-dimensional points carry no payload bytes, so the count
+		// is unverifiable — reject instead of allocating count headers.
+		return nil, fmt.Errorf("transport: %d zero-dimensional points", count)
 	}
 	need := 8 + count*dim*8
 	if len(buf) != need {

@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
-	"sync"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -11,12 +13,16 @@ import (
 	"github.com/dbdc-go/dbdc/internal/model"
 )
 
-// Server is the central DBDC site: it accepts one connection per client
-// site, collects their local models, derives the global model and sends it
-// back on every connection.
+// deadlineListener is the optional listener capability the server uses to
+// bound the accept phase. *net.TCPListener and faultnet.Listener have it.
+type deadlineListener interface{ SetDeadline(time.Time) error }
+
+// Server is the central DBDC site: it accepts connections from client
+// sites, collects their local models, derives the global model and sends it
+// back on every usable connection.
 type Server struct {
 	cfg dbdc.Config
-	// ExpectSites is the number of site connections one round consists of.
+	// expect is the number of distinct site models one round aims for.
 	expect  int
 	timeout time.Duration
 	ln      net.Listener
@@ -25,9 +31,27 @@ type Server struct {
 	bytesOut atomic.Int64
 }
 
-// NewServer listens on addr (e.g. "127.0.0.1:0") for a round of expect
-// sites. timeout bounds each connection's I/O; zero means 30s.
+// NewServer listens on addr (e.g. "127.0.0.1:0") for rounds of expect
+// sites. timeout bounds each connection's I/O and the default accept
+// window; zero means 30s.
 func NewServer(addr string, expect int, cfg dbdc.Config, timeout time.Duration) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	srv, err := NewServerListener(ln, expect, cfg, timeout)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// NewServerListener builds a server on an existing listener. This is how
+// the fault-injection tests interpose faultnet.Listener; production code
+// normally uses NewServer. The listener should support SetDeadline
+// (net.TCPListener does) or rounds cannot bound their accept phase.
+func NewServerListener(ln net.Listener, expect int, cfg dbdc.Config, timeout time.Duration) (*Server, error) {
 	if expect < 1 {
 		return nil, fmt.Errorf("transport: server needs at least one site, got %d", expect)
 	}
@@ -36,10 +60,6 @@ func NewServer(addr string, expect int, cfg dbdc.Config, timeout time.Duration) 
 	}
 	if timeout <= 0 {
 		timeout = 30 * time.Second
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	return &Server{cfg: cfg, expect: expect, timeout: timeout, ln: ln}, nil
 }
@@ -56,99 +76,415 @@ func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
 // Close releases the listener.
 func (s *Server) Close() error { return s.ln.Close() }
 
-// RunRound performs one complete DBDC round: accept the expected number of
-// site connections, read a local model from each, compute the global model
-// and reply to every site. Connections that fail are reported but do not
-// abort the round — the server proceeds with the models it has, exactly as
-// a real deployment would when a site is down (the incremental DBSCAN
-// support means a site can catch up later).
+// RoundOptions tunes one RunRoundOpts call. The zero value reproduces the
+// classic behavior: wait up to the server timeout for all expected sites,
+// then proceed with whatever arrived (quorum 1).
+type RoundOptions struct {
+	// Quorum is the minimum number of distinct usable site models the
+	// round needs; with fewer the round fails. 0 means 1 — the paper's
+	// "proceed with the models it has". Values above the expected site
+	// count are clamped to it.
+	Quorum int
+	// AcceptTimeout bounds the accept-and-collect phase: once it
+	// expires the round proceeds with the models it has (or fails the
+	// quorum). 0 means the server's connection timeout.
+	AcceptTimeout time.Duration
+	// ExpectedSites optionally names the sites the round waits for.
+	// Sites that never delivered a usable model are then listed by name
+	// in the report even if they never connected.
+	ExpectedSites []string
+}
+
+// SiteOutcome is one site's (or anonymous connection's) fate in a round.
+type SiteOutcome struct {
+	// SiteID is empty when a failed connection never got far enough to
+	// identify itself.
+	SiteID string
+	// Addr is the remote address of the last connection observed for
+	// this entry; empty for expected sites that never connected.
+	Addr string
+	// OK reports whether a usable model was received.
+	OK bool
+	// Reason is the failure reason when !OK.
+	Reason string
+	// Attempts counts the connections observed for this site id.
+	Attempts int
+	// Bytes is the wire size read from the successful connection.
+	Bytes int
+	// Duration is how long reading the model took.
+	Duration time.Duration
+}
+
+// RoundReport describes how a round went, site by site.
+type RoundReport struct {
+	// Expect and Quorum echo the round's parameters.
+	Expect, Quorum int
+	// OK and Failed count usable models and failed entries; Retried
+	// counts sites that succeeded only after at least one failed
+	// connection attempt under the same site id.
+	OK, Failed, Retried int
+	// Conns is the total number of connections the round handled.
+	Conns int
+	// Sites lists usable sites first (sorted by id), then failures.
+	Sites []SiteOutcome
+	// Duration is the wall-clock time of the whole round.
+	Duration time.Duration
+}
+
+// String renders a compact multi-line summary for logs.
+func (r *RoundReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "round: %d/%d sites ok (quorum %d, %d conns, %d retried) in %s",
+		r.OK, r.Expect, r.Quorum, r.Conns, r.Retried, r.Duration.Round(time.Millisecond))
+	for _, site := range r.Sites {
+		name := site.SiteID
+		if name == "" {
+			name = "<unidentified>"
+		}
+		if site.OK {
+			fmt.Fprintf(&b, "\n  ok   %-16s addr=%s attempts=%d bytes=%d dur=%s",
+				name, site.Addr, site.Attempts, site.Bytes, site.Duration.Round(time.Millisecond))
+		} else {
+			addr := site.Addr
+			if addr == "" {
+				addr = "-"
+			}
+			fmt.Fprintf(&b, "\n  FAIL %-16s addr=%s attempts=%d reason=%s",
+				name, addr, site.Attempts, site.Reason)
+		}
+	}
+	return b.String()
+}
+
+// readResult is what the per-connection reader goroutine delivers.
+type readResult struct {
+	conn   net.Conn
+	addr   string
+	siteID string // best effort on failures
+	m      *model.LocalModel
+	err    error
+	bytes  int
+	dur    time.Duration
+}
+
+// readLocalModel reads and validates one site's model upload.
+func (s *Server) readLocalModel(conn net.Conn, deadline time.Time, out chan<- readResult) {
+	start := time.Now()
+	res := readResult{conn: conn, addr: conn.RemoteAddr().String()}
+	conn.SetDeadline(deadline)
+	msgType, payload, n, err := ReadFrame(conn)
+	res.bytes = n
+	if err != nil {
+		if errors.Is(err, ErrChecksum) && len(payload) > 0 {
+			// Best-effort naming of the site behind the corrupt
+			// upload: the id is the first payload field and usually
+			// survives a bit flip elsewhere.
+			res.siteID = model.PeekLocalSiteID(payload)
+		}
+		res.err = err
+		res.dur = time.Since(start)
+		out <- res
+		return
+	}
+	s.bytesIn.Add(int64(n))
+	// Best-effort identification even when the rest fails: the site id
+	// is the first field of the payload.
+	res.siteID = model.PeekLocalSiteID(payload)
+	if msgType != MsgLocalModel {
+		res.err = fmt.Errorf("transport: expected local model, got message type 0x%02x", msgType)
+		res.dur = time.Since(start)
+		out <- res
+		return
+	}
+	var m model.LocalModel
+	if err := m.UnmarshalBinary(payload); err == nil {
+		if verr := m.Validate(); verr != nil {
+			res.err = verr
+		} else {
+			res.m = &m
+			res.siteID = m.SiteID
+		}
+	} else {
+		res.err = err
+	}
+	res.dur = time.Since(start)
+	out <- res
+}
+
+// RunRound performs one complete DBDC round with default options: accept
+// site connections until the expected number of distinct sites delivered a
+// model or the server timeout expires, compute the global model from
+// whatever arrived ("the server proceeds with the models it has") and
+// reply to every usable site. It fails only when not a single usable model
+// arrived. Use RunRoundOpts for quorum control and the per-site report.
 func (s *Server) RunRound() (*model.GlobalModel, error) {
-	type siteConn struct {
-		conn  net.Conn
-		model *model.LocalModel
-		err   error
+	global, _, err := s.RunRoundOpts(RoundOptions{})
+	return global, err
+}
+
+// RunRoundOpts is RunRound with explicit options and a per-site report.
+// The report is non-nil even when the round fails.
+//
+// Fault behavior: the accept phase runs under a hard deadline (fixing the
+// historical hang when a site never connected — the listener deadline is
+// set before Accept, not after), failed uploads do not consume a site
+// slot (a retrying site replaces its earlier failed attempt by id), and
+// the round completes as soon as all expected sites are in, or at the
+// deadline with at least Quorum usable models.
+func (s *Server) RunRoundOpts(opts RoundOptions) (*model.GlobalModel, *RoundReport, error) {
+	start := time.Now()
+	quorum := opts.Quorum
+	if quorum <= 0 {
+		quorum = 1
 	}
-	conns := make([]siteConn, 0, s.expect)
-	for len(conns) < s.expect {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			// Listener closed underneath us: fail the round.
-			for _, sc := range conns {
-				sc.conn.Close()
-			}
-			return nil, fmt.Errorf("transport: accept: %w", err)
-		}
-		conns = append(conns, siteConn{conn: conn})
+	if quorum > s.expect {
+		quorum = s.expect
 	}
-	// Read every site's model concurrently.
-	var wg sync.WaitGroup
-	for i := range conns {
-		wg.Add(1)
-		go func(sc *siteConn) {
-			defer wg.Done()
-			sc.conn.SetDeadline(time.Now().Add(s.timeout))
-			msgType, payload, n, err := ReadFrame(sc.conn)
+	acceptTimeout := opts.AcceptTimeout
+	if acceptTimeout <= 0 {
+		acceptTimeout = s.timeout
+	}
+	deadline := time.Now().Add(acceptTimeout)
+
+	// Accept-phase deadline: set on the listener *before* blocking in
+	// Accept so a round with an absent site terminates.
+	dl, hasDeadline := s.ln.(deadlineListener)
+	if hasDeadline {
+		dl.SetDeadline(deadline)
+	}
+
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	connCh := make(chan accepted)
+	stop := make(chan struct{})
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := s.ln.Accept()
 			if err != nil {
-				sc.err = err
+				select {
+				case connCh <- accepted{err: err}:
+				case <-stop:
+				}
 				return
 			}
-			s.bytesIn.Add(int64(n))
-			if msgType != MsgLocalModel {
-				sc.err = fmt.Errorf("transport: expected local model, got message type 0x%02x", msgType)
+			select {
+			case connCh <- accepted{conn: conn}:
+			case <-stop:
+				conn.Close()
 				return
 			}
-			var m model.LocalModel
-			if err := m.UnmarshalBinary(payload); err != nil {
-				sc.err = err
-				return
-			}
-			if err := m.Validate(); err != nil {
-				sc.err = err
-				return
-			}
-			sc.model = &m
-		}(&conns[i])
-	}
-	wg.Wait()
-	var models []*model.LocalModel
-	var failed []error
-	for i := range conns {
-		if conns[i].err != nil {
-			failed = append(failed, conns[i].err)
-			continue
 		}
-		models = append(models, conns[i].model)
-	}
-	if len(models) == 0 {
-		for i := range conns {
-			conns[i].conn.Close()
+	}()
+	// Tear the accept goroutine down no matter how the round ends, and
+	// clear the listener deadline so later rounds start fresh.
+	defer func() {
+		if hasDeadline {
+			dl.SetDeadline(time.Now()) // unblock a pending Accept
 		}
-		return nil, fmt.Errorf("transport: no usable local models (%d sites failed, first: %v)",
-			len(failed), failed[0])
+		close(stop)
+		<-acceptDone
+		if hasDeadline {
+			dl.SetDeadline(time.Time{})
+		}
+	}()
+
+	results := make(chan readResult)
+	good := make(map[string]readResult) // site id -> usable upload
+	attempts := make(map[string]int)    // site id -> connections seen
+	var failures []SiteOutcome
+	reading := 0
+	conns := 0
+	acceptOpen := true
+	var listenErr error
+
+	for {
+		if reading == 0 && (!acceptOpen || len(good) >= s.expect) {
+			break
+		}
+		ch := connCh
+		if !acceptOpen {
+			ch = nil
+		}
+		select {
+		case a := <-ch:
+			if a.err != nil {
+				acceptOpen = false
+				var ne net.Error
+				if !(errors.As(a.err, &ne) && ne.Timeout()) {
+					// Listener closed underneath us.
+					listenErr = a.err
+				}
+				continue
+			}
+			conns++
+			reading++
+			go s.readLocalModel(a.conn, deadline, results)
+		case r := <-results:
+			reading--
+			if r.siteID != "" {
+				attempts[r.siteID]++
+			}
+			if r.err != nil {
+				r.conn.Close()
+				failures = append(failures, SiteOutcome{
+					SiteID:   r.siteID,
+					Addr:     r.addr,
+					Reason:   r.err.Error(),
+					Attempts: attempts[r.siteID],
+					Bytes:    r.bytes,
+					Duration: r.dur,
+				})
+				continue
+			}
+			if prev, ok := good[r.siteID]; ok {
+				// A site re-uploaded (e.g. it retried after a reply
+				// it never saw); keep the newest connection.
+				prev.conn.Close()
+			}
+			good[r.siteID] = r
+			if len(good) >= s.expect {
+				acceptOpen = false
+			}
+		}
 	}
+
+	report := s.buildReport(start, quorum, good, attempts, failures, conns, opts.ExpectedSites)
+
+	closeGood := func(msg string) {
+		for _, r := range good {
+			if msg != "" {
+				r.conn.SetDeadline(time.Now().Add(s.timeout))
+				WriteFrame(r.conn, MsgError, []byte(msg))
+			}
+			r.conn.Close()
+		}
+	}
+
+	if listenErr != nil && len(good) < s.expect {
+		closeGood("")
+		return nil, report, fmt.Errorf("transport: accept: %w", listenErr)
+	}
+	if len(good) == 0 {
+		var first string
+		if len(failures) > 0 {
+			first = failures[0].Reason
+		} else {
+			first = "no site connected before the deadline"
+		}
+		return nil, report, fmt.Errorf("transport: no usable local models (%d connections failed, first: %s)",
+			len(failures), first)
+	}
+	if len(good) < quorum {
+		err := fmt.Errorf("transport: quorum not met: %d usable models of %d expected, need %d",
+			len(good), s.expect, quorum)
+		closeGood(err.Error())
+		return nil, report, err
+	}
+
+	// Deterministic server-side order, matching the in-process
+	// orchestrator: models sorted by site id.
+	ids := make([]string, 0, len(good))
+	for id := range good {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	models := make([]*model.LocalModel, 0, len(ids))
+	for _, id := range ids {
+		models = append(models, good[id].m)
+	}
+
 	global, err := dbdc.GlobalStep(models, s.cfg)
 	if err != nil {
-		// Tell the healthy sites the round failed, then bail.
-		for i := range conns {
-			if conns[i].err == nil {
-				WriteFrame(conns[i].conn, MsgError, []byte(err.Error()))
-			}
-			conns[i].conn.Close()
-		}
-		return nil, err
+		closeGood(err.Error())
+		report.Duration = time.Since(start)
+		return nil, report, err
 	}
 	payload, err := global.MarshalBinary()
 	if err != nil {
-		return nil, err
+		closeGood(err.Error())
+		report.Duration = time.Since(start)
+		return nil, report, err
 	}
-	for i := range conns {
-		if conns[i].err == nil {
-			conns[i].conn.SetDeadline(time.Now().Add(s.timeout))
-			if n, werr := WriteFrame(conns[i].conn, MsgGlobalModel, payload); werr == nil {
-				s.bytesOut.Add(int64(n))
+	for _, id := range ids {
+		r := good[id]
+		r.conn.SetDeadline(time.Now().Add(s.timeout))
+		if n, werr := WriteFrame(r.conn, MsgGlobalModel, payload); werr == nil {
+			s.bytesOut.Add(int64(n))
+		}
+		r.conn.Close()
+	}
+	report.Duration = time.Since(start)
+	return global, report, nil
+}
+
+// buildReport assembles the per-site round report: usable sites sorted by
+// id, then connection failures, then expected sites that never delivered.
+func (s *Server) buildReport(start time.Time, quorum int, good map[string]readResult,
+	attempts map[string]int, failures []SiteOutcome, conns int, expected []string) *RoundReport {
+
+	report := &RoundReport{
+		Expect: s.expect,
+		Quorum: quorum,
+		OK:     len(good),
+		Conns:  conns,
+	}
+	ids := make([]string, 0, len(good))
+	for id := range good {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := good[id]
+		if attempts[id] > 1 {
+			report.Retried++
+		}
+		report.Sites = append(report.Sites, SiteOutcome{
+			SiteID:   id,
+			Addr:     r.addr,
+			OK:       true,
+			Attempts: attempts[id],
+			Bytes:    r.bytes,
+			Duration: r.dur,
+		})
+	}
+	// Connection failures whose site later succeeded are folded into the
+	// retry count, not listed as standalone failures.
+	for _, f := range failures {
+		if f.SiteID != "" {
+			if _, ok := good[f.SiteID]; ok {
+				continue
 			}
 		}
-		conns[i].conn.Close()
+		report.Sites = append(report.Sites, f)
+		report.Failed++
 	}
-	return global, nil
+	// Expected sites that never delivered a usable model and were never
+	// identified on a failed connection.
+	named := make(map[string]bool)
+	for _, site := range report.Sites {
+		if site.SiteID != "" {
+			named[site.SiteID] = true
+		}
+	}
+	for _, id := range expected {
+		if named[id] {
+			continue
+		}
+		reason := "no connection before the round deadline"
+		if attempts[id] > 0 {
+			reason = "no usable model before the round deadline"
+		}
+		report.Sites = append(report.Sites, SiteOutcome{
+			SiteID:   id,
+			Reason:   reason,
+			Attempts: attempts[id],
+		})
+		report.Failed++
+	}
+	report.Duration = time.Since(start)
+	return report
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -68,10 +69,37 @@ func TestFrameTooLargeRejected(t *testing.T) {
 	// A crafted header advertising 1 GiB must be rejected before any
 	// allocation of that size.
 	header := make([]byte, frameHeaderSize)
-	binary.LittleEndian.PutUint32(header, 1<<30)
-	header[4] = MsgLocalModel
-	if _, _, _, err := ReadFrame(bytes.NewReader(header)); err != ErrFrameTooLarge {
+	header[0] = FrameVersion
+	header[1] = MsgLocalModel
+	binary.LittleEndian.PutUint32(header[2:6], 1<<30)
+	if _, _, _, err := ReadFrame(bytes.NewReader(header)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameVersionRejected(t *testing.T) {
+	// A version-1 style header (length first, no version byte) must be
+	// rejected with the typed version error.
+	header := make([]byte, frameHeaderSize)
+	header[0] = 1
+	if _, _, _, err := ReadFrame(bytes.NewReader(header)); !errors.Is(err, ErrFrameVersion) {
+		t.Fatalf("got %v, want ErrFrameVersion", err)
+	}
+}
+
+func TestFrameChecksumRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, MsgLocalModel, []byte("precious payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for off := frameHeaderSize; off < len(raw); off++ {
+		flipped := append([]byte(nil), raw...)
+		flipped[off] ^= 0x40
+		_, _, _, err := ReadFrame(bytes.NewReader(flipped))
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrChecksum", off, err)
+		}
 	}
 }
 

@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dbdc-go/dbdc/internal/dbdc"
@@ -23,10 +25,19 @@ type UpdateServer struct {
 	timeout time.Duration
 	ln      net.Listener
 
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
 	mu     sync.Mutex
 	models map[string]*model.LocalModel
 	global *model.GlobalModel
 }
+
+// BytesIn returns the total frame bytes received from sites.
+func (s *UpdateServer) BytesIn() int64 { return s.bytesIn.Load() }
+
+// BytesOut returns the total frame bytes sent to sites.
+func (s *UpdateServer) BytesOut() int64 { return s.bytesOut.Load() }
 
 // NewUpdateServer listens on addr for model updates.
 func NewUpdateServer(addr string, cfg dbdc.Config, timeout time.Duration) (*UpdateServer, error) {
@@ -103,34 +114,48 @@ func (s *UpdateServer) Serve(maxUpdates int) error {
 // global model, reply.
 func (s *UpdateServer) handleUpdate(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(s.timeout))
-	msgType, payload, _, err := ReadFrame(conn)
+	msgType, payload, n, err := ReadFrame(conn)
 	if err != nil {
+		// A corrupt frame is a protocol-level failure the site can act
+		// on (resend); tell it instead of silently hanging up. I/O
+		// errors get no reply — the conn is gone anyway.
+		if errors.Is(err, ErrChecksum) || errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameVersion) {
+			s.reply(conn, MsgError, []byte(err.Error()))
+		}
 		return
 	}
+	s.bytesIn.Add(int64(n))
 	if msgType != MsgLocalModel {
-		WriteFrame(conn, MsgError, []byte("expected local model"))
+		s.reply(conn, MsgError, []byte("expected local model"))
 		return
 	}
 	var m model.LocalModel
 	if err := m.UnmarshalBinary(payload); err != nil {
-		WriteFrame(conn, MsgError, []byte(err.Error()))
+		s.reply(conn, MsgError, []byte(err.Error()))
 		return
 	}
 	if err := m.Validate(); err != nil {
-		WriteFrame(conn, MsgError, []byte(err.Error()))
+		s.reply(conn, MsgError, []byte(err.Error()))
 		return
 	}
 	global, err := s.storeAndRebuild(&m)
 	if err != nil {
-		WriteFrame(conn, MsgError, []byte(err.Error()))
+		s.reply(conn, MsgError, []byte(err.Error()))
 		return
 	}
 	reply, err := global.MarshalBinary()
 	if err != nil {
-		WriteFrame(conn, MsgError, []byte(err.Error()))
+		s.reply(conn, MsgError, []byte(err.Error()))
 		return
 	}
-	WriteFrame(conn, MsgGlobalModel, reply)
+	s.reply(conn, MsgGlobalModel, reply)
+}
+
+// reply writes one frame and accounts the bytes.
+func (s *UpdateServer) reply(conn net.Conn, msgType byte, payload []byte) {
+	if n, err := WriteFrame(conn, msgType, payload); err == nil {
+		s.bytesOut.Add(int64(n))
+	}
 }
 
 // storeAndRebuild replaces the site's model and recomputes the global
