@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race check fuzz-smoke bench vet experiments examples clean
+.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke vet experiments examples clean
 
 all: build vet test
 
@@ -37,6 +37,26 @@ fuzz-smoke:
 # ablations. Expect several minutes (Figure 8 runs a 203,000-point study).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path benchmark sweep recorded as a committed artifact: runs the
+# BenchmarkLocalClustering suite (naive-vs-fast kernels, worker scaling) and
+# converts the output into BENCH_<shortrev>.json via cmd/benchjson. The raw
+# text passes through to stdout unchanged, so the same pipeline feeds
+# benchstat:
+#
+#   make bench-json BENCHFLAGS='-count=10' | tee new.txt
+#   benchstat old.txt new.txt    # any `go test -bench` text file works
+#
+# See docs/performance.md for how to read the JSON.
+BENCHFLAGS ?=
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchmem $(BENCHFLAGS) . \
+		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD)
+
+# One-iteration smoke over the hot-path suite: catches benchmarks that no
+# longer compile or crash, without paying measurement time. CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchtime 1x -benchmem .
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

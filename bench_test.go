@@ -385,3 +385,88 @@ func BenchmarkRelabel(b *testing.B) {
 		_ = lib.Relabel(ds.Points, global)
 	}
 }
+
+// plainMetric wraps a metric and deliberately hides its DistanceSq fast
+// path, forcing every index through the generic sqrt-per-comparison code.
+// It is the "naive" baseline of BenchmarkLocalClustering: the measured gap
+// against the plain geom.Euclidean{} runs is exactly what the squared-space
+// kernels and allocation-free range queries buy.
+type plainMetric struct{ m geom.Metric }
+
+func (p plainMetric) Distance(a, b geom.Point) float64 { return p.m.Distance(a, b) }
+
+func (p plainMetric) Name() string { return "plain-" + p.m.Name() }
+
+// naiveIndex hides the RangeAppender fast path of the wrapped index: the
+// embedded interface exposes only index.Index, so index.RangeInto falls back
+// to Range and every region query allocates its result slice — the second
+// half of the pre-optimization behavior plainMetric restores.
+type naiveIndex struct{ index.Index }
+
+// BenchmarkLocalClustering measures the hot path of DBDC's step 1 — one
+// site-local DBSCAN with specific core collection — on a 50,000-object
+// site. Sub-benchmarks compare the naive distance kernels against the
+// squared-space fast path per index kind, and the sequential run against
+// dbscan.RunParallel at increasing worker counts. Range-query counts are
+// reported so BENCH_*.json records the paper's cost model alongside wall
+// time. Index construction is excluded: the subject is the clustering scan.
+func BenchmarkLocalClustering(b *testing.B) {
+	ds := lib.DatasetA(50_000, 1)
+	// DatasetA's stock Eps=1.2 was tuned for the paper's 8,700-object
+	// cardinality; at 50,000 objects on the same geometry it yields ~500
+	// neighbors per ball, which measures neighborhood materialisation
+	// rather than clustering. Scale Eps to the 50k density so neighborhoods
+	// stay realistic (a few dozen objects).
+	params := dbscan.Params{Eps: 0.25, MinPts: 5}
+	opts := dbscan.Options{CollectSpecificCores: true}
+	runOnce := func(b *testing.B, idx index.Index, o dbscan.Options) {
+		b.Helper()
+		b.ReportAllocs()
+		var queries int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := dbscan.Run(idx, params, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries = res.RangeQueries
+		}
+		b.ReportMetric(float64(queries), "range-queries/op")
+	}
+	// Naive vs fast kernels, single-threaded, per index kind. The linear
+	// scan is excluded: O(n²) distance computations at this cardinality
+	// measure patience, not kernels (internal/index has per-query benches
+	// covering it).
+	for _, kind := range []index.Kind{index.KindGrid, index.KindKDTree, index.KindRStar} {
+		b.Run(fmt.Sprintf("naive/%s", kind), func(b *testing.B) {
+			if kind == index.KindRStar {
+				b.Skip("rstar is Euclidean-only; its fast path cannot be disabled via the metric")
+			}
+			idx, err := index.Build(kind, ds.Points, plainMetric{geom.Euclidean{}}, ds.Params.Eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runOnce(b, naiveIndex{idx}, opts)
+		})
+		b.Run(fmt.Sprintf("fast/%s", kind), func(b *testing.B) {
+			idx, err := index.Build(kind, ds.Points, geom.Euclidean{}, ds.Params.Eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runOnce(b, idx, opts)
+		})
+	}
+	// Intra-site parallelism: same index, growing worker budget. workers=1
+	// is the sequential expansion; higher counts route through RunParallel.
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			idx, err := index.Build(index.KindKDTree, ds.Points, geom.Euclidean{}, ds.Params.Eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := opts
+			o.Workers = workers
+			runOnce(b, idx, o)
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Command benchjson converts `go test -bench` output into the committed
+// BENCH_<rev>.json artifact format (see docs/performance.md). It reads the
+// benchmark text from stdin, tees it unchanged to stdout — so the pipeline
+// stays benchstat-compatible — and writes the parsed JSON report to the
+// output file:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson -rev $(git rev-parse --short HEAD)
+//
+// With -out the file name is explicit; otherwise it is BENCH_<rev>.json in
+// the current directory (BENCH_unversioned.json when -rev is omitted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/dbdc-go/dbdc/internal/benchio"
+)
+
+func main() {
+	rev := flag.String("rev", "", "source revision recorded in the report (git short hash)")
+	out := flag.String("out", "", "output file (default BENCH_<rev>.json)")
+	flag.Parse()
+	if err := run(*rev, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rev, out string) error {
+	if out == "" {
+		name := rev
+		if name == "" {
+			name = "unversioned"
+		}
+		out = "BENCH_" + name + ".json"
+	}
+	// Tee: the raw text stays on stdout for humans and benchstat.
+	rep, err := benchio.Parse(io.TeeReader(os.Stdin, os.Stdout))
+	if err != nil {
+		return err
+	}
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("no benchmark results found on stdin")
+	}
+	rep.Rev = rev
+	rep.NumCPU = runtime.NumCPU()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := benchio.Write(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d entries)\n", out, len(rep.Entries))
+	return nil
+}

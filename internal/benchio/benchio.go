@@ -1,0 +1,150 @@
+// Package benchio turns the text output of `go test -bench` into a
+// machine-readable JSON report, the format behind the committed
+// BENCH_<rev>.json artifacts. The parser understands the standard benchmark
+// line grammar — name, iteration count, then (value, unit) pairs — so the
+// built-in ns/op, B/op and allocs/op columns land in dedicated fields while
+// every custom b.ReportMetric unit (range-queries/op, distms/op, …) is kept
+// in a generic metrics map. Header lines (goos, goarch, cpu, pkg) populate
+// the report environment so two artifacts are comparable at a glance.
+//
+// The text format itself stays the interchange surface: `go test -bench`
+// output is also what benchstat consumes, so a pipeline can tee the raw text
+// to benchstat and the JSON to the repository without running the
+// benchmarks twice.
+package benchio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// trailing -GOMAXPROCS suffix, e.g. "BenchmarkLocalClustering/fast/grid-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; -1 when the
+	// benchmark did not report them.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every additional unit reported via b.ReportMetric,
+	// keyed by unit string (e.g. "range-queries/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a full benchmark run: environment plus parsed entries.
+type Report struct {
+	// Rev is the source revision the run measured (git short hash).
+	Rev string `json:"rev,omitempty"`
+	// Timestamp is the RFC 3339 creation time of the report.
+	Timestamp string `json:"timestamp"`
+	GoOS      string `json:"goos,omitempty"`
+	GoArch    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	// NumCPU and GoMaxProcs describe the producing host's parallelism —
+	// essential context for the parallel/workers=N entries (a single-CPU
+	// host cannot show wall-clock speedup from intra-site workers). Filled
+	// by cmd/benchjson, not parsed from the text.
+	NumCPU     int `json:"num_cpu,omitempty"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// Packages lists every pkg: header seen in the input.
+	Packages []string `json:"packages,omitempty"`
+	Entries  []Entry  `json:"entries"`
+}
+
+// Parse reads `go test -bench` text output and returns the report. Lines
+// that are neither benchmark results nor recognised headers are ignored, so
+// the full combined output of a multi-package run parses cleanly.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Timestamp: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Packages = append(rep.Packages, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rep.Entries = append(rep.Entries, e)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one benchmark result line. ok is false for lines that
+// start with "Benchmark" but are not result lines (e.g. a bare name echoed
+// by -v).
+func parseLine(line string) (Entry, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Entry{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false, nil
+	}
+	e := Entry{Name: fields[0], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("benchio: bad value %q in %q: %w", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = val
+		case "allocs/op":
+			e.AllocsPerOp = val
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, true, nil
+}
+
+// Write serialises the report as indented JSON with a trailing newline,
+// the exact layout of the committed BENCH_<rev>.json files.
+func Write(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Entry returns the first entry whose name starts with prefix (names carry
+// a -GOMAXPROCS suffix, so prefix matching is the ergonomic lookup), or nil.
+func (r *Report) Entry(prefix string) *Entry {
+	for i := range r.Entries {
+		if strings.HasPrefix(r.Entries[i].Name, prefix) {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package benchio
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/dbdc-go/dbdc
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkLocalClustering/fast/grid-8         	     100	  12345678 ns/op	    2048 B/op	      12 allocs/op	   50000 range-queries/op
+BenchmarkLocalClustering/naive/grid-8        	      50	  24691356 ns/op	  409600 B/op	   50012 allocs/op
+BenchmarkFig7/DBDC_Scor/n=10000-8            	      10	 104729000 ns/op	      42.5 distms/op
+PASS
+ok  	github.com/dbdc-go/dbdc	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" {
+		t.Fatalf("environment = %q/%q", rep.GoOS, rep.GoArch)
+	}
+	if rep.CPU != "Imaginary CPU @ 3.00GHz" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Packages) != 1 || rep.Packages[0] != "github.com/dbdc-go/dbdc" {
+		t.Fatalf("packages = %v", rep.Packages)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(rep.Entries))
+	}
+	fast := rep.Entry("BenchmarkLocalClustering/fast/grid")
+	if fast == nil {
+		t.Fatal("fast entry not found")
+	}
+	if fast.Iterations != 100 || fast.NsPerOp != 12345678 {
+		t.Fatalf("fast = %+v", fast)
+	}
+	if fast.BytesPerOp != 2048 || fast.AllocsPerOp != 12 {
+		t.Fatalf("fast memory columns = %v B/op, %v allocs/op", fast.BytesPerOp, fast.AllocsPerOp)
+	}
+	if got := fast.Metrics["range-queries/op"]; got != 50000 {
+		t.Fatalf("range-queries/op = %v", got)
+	}
+	fig7 := rep.Entry("BenchmarkFig7/DBDC_Scor/n=10000")
+	if fig7 == nil {
+		t.Fatal("fig7 entry not found")
+	}
+	if fig7.BytesPerOp != -1 || fig7.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns must stay -1, got %v/%v", fig7.BytesPerOp, fig7.AllocsPerOp)
+	}
+	if got := fig7.Metrics["distms/op"]; got != 42.5 {
+		t.Fatalf("distms/op = %v", got)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := "BenchmarkFoo\nBenchmarkBar-8 not-a-number 1 ns/op\n--- BENCH: BenchmarkBaz\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 0 {
+		t.Fatalf("entries = %+v, want none", rep.Entries)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Rev = "abc1234"
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Fatal("output must end with a newline")
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rev != "abc1234" || len(back.Entries) != len(rep.Entries) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Entries[0].Metrics["range-queries/op"] != 50000 {
+		t.Fatal("round trip lost custom metrics")
+	}
+}

@@ -63,6 +63,16 @@ type Config struct {
 	// max(local) + global faithfully models sites running on separate
 	// machines even when the experiment host has few cores.
 	Sequential bool
+	// SiteWorkers is the per-site worker budget for the local DBSCAN runs:
+	// values above 1 select dbscan.RunParallel with that many goroutines
+	// per site, so one large site no longer bottlenecks a round on a single
+	// core. The orchestrator divides the process-wide parallelism budget
+	// (GOMAXPROCS) by SiteWorkers to size its bounded site pool, keeping
+	// total goroutine fan-out roughly constant. 0 or 1 keeps the sequential
+	// per-site DBSCAN (the paper-faithful default). Note the border-point
+	// tie rule of dbscan.RunParallel: local models may select a different
+	// (equally valid) specific core set than a sequential run.
+	SiteWorkers int
 }
 
 // withDefaults returns a copy of c with defaults resolved.
@@ -93,6 +103,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinPtsGlobal < 1 {
 		return fmt.Errorf("dbdc: MinPtsGlobal %d < 1", c.MinPtsGlobal)
+	}
+	if c.SiteWorkers < 0 {
+		return fmt.Errorf("dbdc: negative SiteWorkers %d", c.SiteWorkers)
 	}
 	return nil
 }

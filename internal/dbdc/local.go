@@ -37,7 +37,10 @@ func LocalStep(siteID string, pts []geom.Point, cfg Config) (*LocalOutcome, erro
 	if err != nil {
 		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
 	}
-	res, err := dbscan.Run(idx, cfg.Local, dbscan.Options{CollectSpecificCores: true})
+	res, err := dbscan.Run(idx, cfg.Local, dbscan.Options{
+		CollectSpecificCores: true,
+		Workers:              cfg.SiteWorkers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
 	}

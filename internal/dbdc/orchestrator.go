@@ -2,6 +2,7 @@ package dbdc
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -94,10 +95,62 @@ func (r *Result) TotalObjects() int {
 	return n
 }
 
+// sitePoolSize returns how many sites may run their local work at once: the
+// process-wide parallelism budget divided by the per-site worker budget, so
+// sites × intra-site workers stays near GOMAXPROCS instead of the old
+// goroutine-per-site fan-out that oversubscribed the host as soon as
+// len(sites) exceeded the core count.
+func sitePoolSize(cfg Config, numSites int) int {
+	if cfg.Sequential {
+		return 1
+	}
+	perSite := cfg.SiteWorkers
+	if perSite < 1 {
+		perSite = 1
+	}
+	pool := runtime.GOMAXPROCS(0) / perSite
+	if pool < 1 {
+		pool = 1
+	}
+	if pool > numSites {
+		pool = numSites
+	}
+	return pool
+}
+
+// forEachSite runs fn(i) for i in [0, n) on a bounded pool of size pool.
+// pool = 1 degenerates to a strictly sequential loop on the caller's
+// goroutine, preserving the paper's uncontended measurement methodology for
+// Config.Sequential.
+func forEachSite(n, pool int, fn func(int)) {
+	if pool <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
 // Run executes the four DBDC steps over the given sites inside one process,
-// with every site working in its own goroutine — the in-process analogue of
-// the client/server deployment in the transport package. Deterministic
-// given the same sites and config.
+// with the site-side work scheduled on a bounded pool — the in-process
+// analogue of the client/server deployment in the transport package.
+// Deterministic given the same sites and config.
 func Run(sites []Site, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -118,8 +171,8 @@ func Run(sites []Site, cfg Config) (*Result, error) {
 	start := time.Now()
 	res := &Result{Config: cfg, Sites: make(map[string]*SiteResult, len(sites))}
 
-	// Step 1+2: local clustering and model determination, one goroutine per
-	// site.
+	// Step 1+2: local clustering and model determination on the bounded
+	// site pool (pool size 1 under Config.Sequential).
 	type localReply struct {
 		site    int
 		outcome *LocalOutcome
@@ -127,26 +180,12 @@ func Run(sites []Site, cfg Config) (*Result, error) {
 		err     error
 	}
 	replies := make([]localReply, len(sites))
-	runLocal := func(i int, s Site) {
+	pool := sitePoolSize(cfg, len(sites))
+	forEachSite(len(sites), pool, func(i int) {
 		t0 := time.Now()
-		outcome, err := LocalStep(s.ID, s.Points, cfg)
+		outcome, err := LocalStep(sites[i].ID, sites[i].Points, cfg)
 		replies[i] = localReply{site: i, outcome: outcome, dur: time.Since(t0), err: err}
-	}
-	if cfg.Sequential {
-		for i, s := range sites {
-			runLocal(i, s)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i, s := range sites {
-			wg.Add(1)
-			go func(i int, s Site) {
-				defer wg.Done()
-				runLocal(i, s)
-			}(i, s)
-		}
-		wg.Wait()
-	}
+	})
 	models := make([]*model.LocalModel, 0, len(sites))
 	for _, r := range replies {
 		if r.err != nil {
@@ -172,30 +211,20 @@ func Run(sites []Site, cfg Config) (*Result, error) {
 	res.Global = global
 	downlink := global.EncodedSize()
 
-	// Step 4: relabeling, concurrent per site unless Sequential.
-	runRelabel := func(sr *SiteResult) {
+	// Step 4: relabeling on the same bounded site pool.
+	siteResults := make([]*SiteResult, 0, len(sites))
+	for _, s := range sites {
+		siteResults = append(siteResults, res.Sites[s.ID])
+	}
+	forEachSite(len(siteResults), pool, func(i int) {
+		sr := siteResults[i]
 		t := time.Now()
 		labels, stats := RelabelSite(sr.Outcome, global)
 		sr.Labels = labels
 		sr.Stats = stats
 		sr.RelabelDuration = time.Since(t)
 		sr.DownlinkBytes = downlink
-	}
-	if cfg.Sequential {
-		for _, sr := range res.Sites {
-			runRelabel(sr)
-		}
-	} else {
-		var rwg sync.WaitGroup
-		for _, sr := range res.Sites {
-			rwg.Add(1)
-			go func(sr *SiteResult) {
-				defer rwg.Done()
-				runRelabel(sr)
-			}(sr)
-		}
-		rwg.Wait()
-	}
+	})
 	res.Wall = time.Since(start)
 	return res, nil
 }

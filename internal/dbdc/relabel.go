@@ -43,14 +43,23 @@ func Relabel(pts []geom.Point, global *model.GlobalModel) cluster.Labeling {
 		// labeling; GlobalStep validation makes this unreachable.
 		return labels
 	}
+	// Compare in squared space: d ≤ ε_r ∧ d < best ⟺ d² ≤ ε_r² ∧ d² < best²
+	// for non-negative values, so the nearest-covering-representative rule is
+	// unchanged while the per-candidate sqrt disappears. The candidate buffer
+	// is reused across objects.
 	e := geom.Euclidean{}
+	epsSq := make([]float64, len(global.Reps))
+	for i, r := range global.Reps {
+		epsSq[i] = r.Eps * r.Eps
+	}
+	var nbuf []int
 	for i, p := range pts {
 		best := cluster.Noise
-		bestDist := math.Inf(1)
-		for _, ri := range tree.Range(p, maxEps) {
-			r := &global.Reps[ri]
-			if d := e.Distance(p, r.Point); d <= r.Eps && d < bestDist {
-				best, bestDist = r.GlobalCluster, d
+		bestSq := math.Inf(1)
+		nbuf = tree.RangeAppend(p, maxEps, nbuf)
+		for _, ri := range nbuf {
+			if d2 := e.DistanceSq(p, global.Reps[ri].Point); d2 <= epsSq[ri] && d2 < bestSq {
+				best, bestSq = global.Reps[ri].GlobalCluster, d2
 			}
 		}
 		labels[i] = best

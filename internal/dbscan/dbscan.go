@@ -8,6 +8,7 @@ package dbscan
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/dbdc-go/dbdc/internal/cluster"
 	"github.com/dbdc-go/dbdc/internal/geom"
@@ -39,6 +40,13 @@ type Options struct {
 	// points are selected greedily in processing order during the run and
 	// their ε-ranges computed afterwards.
 	CollectSpecificCores bool
+	// Workers selects intra-site parallelism: with Workers > 1 Run delegates
+	// to RunParallel, which issues the per-object region queries from that
+	// many goroutines and merges the partial results with a union-find over
+	// core-point adjacency. 0 or 1 keeps the classic sequential expansion.
+	// The core partition and cluster numbering are identical to the
+	// sequential run; see RunParallel for the border-point tie rule.
+	Workers int
 }
 
 // Result holds the outcome of a DBSCAN run.
@@ -69,7 +77,11 @@ func (r *Result) IsBorder(i int) bool { return r.Labels[i] >= 0 && !r.Core[i] }
 
 // Run clusters the points held by idx. The index supplies both the data and
 // the metric, exactly like the R*-tree underneath the original DBSCAN.
+// With Options.Workers > 1 the run is delegated to RunParallel.
 func Run(idx index.Index, params Params, opts Options) (*Result, error) {
+	if opts.Workers > 1 {
+		return RunParallel(idx, params, opts)
+	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,12 +171,22 @@ func Run(idx index.Index, params Params, opts Options) (*Result, error) {
 // the Eps-neighborhood of a previously selected specific core point. Every
 // core point is either selected or covered at the moment it is processed, so
 // condition 3 of Definition 6 (complete coverage of Cor) holds by
-// construction.
+// construction. The coverage test compares in squared space when the metric
+// supports it.
 func (r *Result) maybeAddSpecificCore(idx index.Index, metric geom.Metric, id cluster.ID, q int) {
 	qp := idx.Point(q)
-	for _, s := range r.Scor[id] {
-		if metric.Distance(idx.Point(s), qp) <= r.Params.Eps {
-			return
+	if sq, ok := geom.AsSquared(metric); ok {
+		eps2 := r.Params.Eps * r.Params.Eps
+		for _, s := range r.Scor[id] {
+			if sq.DistanceSq(idx.Point(s), qp) <= eps2 {
+				return
+			}
+		}
+	} else {
+		for _, s := range r.Scor[id] {
+			if metric.Distance(idx.Point(s), qp) <= r.Params.Eps {
+				return
+			}
 		}
 	}
 	r.Scor[id] = append(r.Scor[id], q)
@@ -173,19 +195,38 @@ func (r *Result) maybeAddSpecificCore(idx index.Index, metric geom.Metric, id cl
 // computeSpecificEps evaluates Definition 7 for every selected specific core
 // point: ε_s = Eps + max{dist(s, s_i) | s_i ∈ Cor ∧ s_i ∈ N_Eps(s)}. When no
 // other core point lies in the neighborhood the maximum is empty and
-// ε_s = Eps.
+// ε_s = Eps. Queries go through index.RangeInto with one reused buffer, and
+// the maximum is taken in squared space when the metric supports it (a
+// single sqrt per specific core point instead of one per neighbor; exact,
+// since the correctly rounded sqrt is monotone and commutes with max).
 func (r *Result) computeSpecificEps(idx index.Index, metric geom.Metric) {
+	sq, hasSq := geom.AsSquared(metric)
+	var buf []int
 	for _, scor := range r.Scor {
 		for _, s := range scor {
 			sp := idx.Point(s)
-			var maxDist float64
 			r.RangeQueries++
-			for _, ni := range idx.Range(sp, r.Params.Eps) {
-				if ni == s || !r.Core[ni] {
-					continue
+			buf = index.RangeInto(idx, sp, r.Params.Eps, buf)
+			var maxDist float64
+			if hasSq {
+				var maxSq float64
+				for _, ni := range buf {
+					if ni == s || !r.Core[ni] {
+						continue
+					}
+					if d2 := sq.DistanceSq(sp, idx.Point(ni)); d2 > maxSq {
+						maxSq = d2
+					}
 				}
-				if d := metric.Distance(sp, idx.Point(ni)); d > maxDist {
-					maxDist = d
+				maxDist = math.Sqrt(maxSq)
+			} else {
+				for _, ni := range buf {
+					if ni == s || !r.Core[ni] {
+						continue
+					}
+					if d := metric.Distance(sp, idx.Point(ni)); d > maxDist {
+						maxDist = d
+					}
 				}
 			}
 			r.SpecificEps[s] = r.Params.Eps + maxDist

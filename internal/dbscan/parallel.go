@@ -1,0 +1,277 @@
+package dbscan
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/index"
+)
+
+// RunParallel clusters the points held by idx with a partition-and-merge
+// DBSCAN: the object range is split into Options.Workers contiguous chunks,
+// every worker issues the ε-range query for each of its objects (the
+// entirety of DBSCAN's cost model), and the clustering is reconstructed from
+// the recorded core adjacency with a union-find over core points. The merge
+// itself runs in parallel too — workers replay their own adjacency through a
+// lock-free union-find — with only the final numbering pass sequential.
+//
+// Result guarantees relative to the sequential Run:
+//
+//   - Core flags are identical (|N_Eps(p)| ≥ MinPts is order-free).
+//   - The core partition is identical: two core points share a cluster iff
+//     they are density-connected, and clusters are numbered by their lowest
+//     core-point index — exactly the order in which the sequential scan
+//     first reaches each cluster. Labels of core points are therefore
+//     byte-identical to Run's.
+//   - RangeQueries accounting is exact: exactly one region query per object,
+//     plus one per selected specific core point when CollectSpecificCores is
+//     set. Without CollectSpecificCores the count is identical to Run's;
+//     with it, the totals can differ by the size difference of the two
+//     (equally valid) specific core sets.
+//   - Border points (non-core members) are assigned to the cluster of their
+//     lowest-index core neighbor. Sequential DBSCAN assigns whichever
+//     cluster expands into them first; for border points in reach of a
+//     single cluster — the overwhelming majority — the two rules coincide.
+//     The tie rule is deterministic, so repeated parallel runs agree with
+//     each other regardless of worker count. Noise is identical (a non-core
+//     point with no core neighbor is noise under both rules).
+//   - With CollectSpecificCores, the specific core points are selected by
+//     the same greedy coverage rule (Definition 6) but in ascending core
+//     index order per cluster rather than expansion order, so the selected
+//     set may differ from Run's while remaining a valid complete set;
+//     SpecificEps follows Definition 7 exactly.
+//
+// Determinism under concurrency: the merge-phase union-find attaches the
+// larger root under the smaller via compare-and-swap, so the lowest index of
+// a component can never acquire a parent regardless of interleaving; the
+// components (and with them every label) are a pure function of the input.
+//
+// Workers ≤ 0 selects GOMAXPROCS. The index must be safe for concurrent
+// readers, which every index in this module is after construction.
+func RunParallel(idx index.Index, params Params, opts Options) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := idx.Len()
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("dbscan: RunParallel supports at most %d objects, got %d", math.MaxInt32, n)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	res := &Result{
+		Params: params,
+		Labels: cluster.NewLabeling(n),
+		Core:   make([]bool, n),
+	}
+	if opts.CollectSpecificCores {
+		res.Scor = make(map[cluster.ID][]int)
+		res.SpecificEps = make(map[int]float64)
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	// Phase 1 — parallel region queries. Each worker owns a contiguous chunk
+	// of objects, issues exactly one ε-range query per object through
+	// index.RangeInto with a worker-local reused buffer, and sets the core
+	// flag (disjoint writes, no locking). Of a core object's neighborhood it
+	// keeps only the forward half (j > i) in a flat worker-local arena: the
+	// neighbor relation is symmetric, so every core-core edge reappears from
+	// its other endpoint and the merge can afford to skip the backward half.
+	// Border bookkeeping needs no arena at all: a worker scans its chunk in
+	// ascending order, so the first core object that reports j as a neighbor
+	// is the worker's lowest-index core neighbor of j — one write into a
+	// worker-local minCore array, merged across workers afterwards.
+	type shard struct {
+		lo, hi  int
+		offsets []int32 // offsets[i-lo..i-lo+1] frame the forward neighbors of i in flat
+		flat    []int32 // forward (j > i) neighbor indexes of core objects
+		minCore []int32 // per-object lowest-index core neighbor within this chunk's cores, -1 if none
+		queries int
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		shards[w] = shard{lo: lo, hi: hi}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.offsets = make([]int32, 1, sh.hi-sh.lo+1)
+			sh.minCore = make([]int32, n)
+			for i := range sh.minCore {
+				sh.minCore[i] = -1
+			}
+			var buf []int
+			for i := sh.lo; i < sh.hi; i++ {
+				buf = index.RangeInto(idx, idx.Point(i), params.Eps, buf)
+				sh.queries++
+				if len(buf) >= params.MinPts {
+					res.Core[i] = true
+					// Grow the arena once per order of magnitude instead of
+					// per append: reserve from the running average.
+					if free := cap(sh.flat) - len(sh.flat); free < len(buf) {
+						avg := (len(sh.flat) + len(buf)) / (i - sh.lo + 1)
+						want := len(sh.flat) + (sh.hi-i)*(avg+1)
+						if want < 2*cap(sh.flat) {
+							want = 2 * cap(sh.flat)
+						}
+						grown := make([]int32, len(sh.flat), want)
+						copy(grown, sh.flat)
+						sh.flat = grown
+					}
+					for _, v := range buf {
+						if v > i {
+							sh.flat = append(sh.flat, int32(v))
+						}
+						if v != i && sh.minCore[v] == -1 {
+							sh.minCore[v] = int32(i) // ascending scan: first write is the chunk minimum
+						}
+					}
+				}
+				sh.offsets = append(sh.offsets, int32(len(sh.flat)))
+			}
+		}(&shards[w])
+	}
+	wg.Wait()
+
+	// Phase 2 — parallel merge. Union-find over core-point adjacency: two
+	// core points within Eps of each other are density-connected, and every
+	// density-connection between cores decomposes into such hops, so the
+	// components of this graph are exactly the core partition of sequential
+	// DBSCAN. Every worker replays its own arena (cache-resident from phase
+	// 1) against a shared lock-free union-find; core flags are frozen at the
+	// phase barrier, so the core[j] filter needs no synchronisation.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[x])
+			if p == x {
+				return x
+			}
+			if gp := atomic.LoadInt32(&parent[p]); gp != p {
+				// Path halving; best-effort, losing the race is harmless.
+				atomic.CompareAndSwapInt32(&parent[x], p, gp)
+				x = gp
+			} else {
+				x = p
+			}
+		}
+	}
+	union := func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb { // the smaller index stays root: deterministic components
+				ra, rb = rb, ra
+			}
+			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+				return
+			}
+		}
+	}
+	if workers == 1 {
+		sh := &shards[0]
+		for i := sh.lo; i < sh.hi; i++ {
+			if !res.Core[i] {
+				continue
+			}
+			for _, j := range sh.flat[sh.offsets[i-sh.lo]:sh.offsets[i-sh.lo+1]] {
+				if res.Core[j] {
+					union(int32(i), j)
+				}
+			}
+		}
+	} else {
+		for w := range shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				for i := sh.lo; i < sh.hi; i++ {
+					if !res.Core[i] {
+						continue
+					}
+					for _, j := range sh.flat[sh.offsets[i-sh.lo]:sh.offsets[i-sh.lo+1]] {
+						if res.Core[j] {
+							union(int32(i), j)
+						}
+					}
+				}
+			}(&shards[w])
+		}
+		wg.Wait()
+	}
+
+	// Phase 3 — sequential numbering and labeling. Chunks partition the
+	// object range in ascending order, so the first shard reporting a core
+	// neighbor for j holds the globally lowest-index one (the border tie
+	// rule). Scanning ascending assigns each component its id at the
+	// component's lowest core index, which is the order the sequential scan
+	// discovers clusters in.
+	minCoreNbr := shards[0].minCore
+	for w := 1; w < len(shards); w++ {
+		for i, v := range shards[w].minCore {
+			if minCoreNbr[i] == -1 {
+				minCoreNbr[i] = v
+			}
+		}
+	}
+	for w := range shards {
+		res.RangeQueries += shards[w].queries
+	}
+	rootID := make(map[int32]cluster.ID)
+	var next cluster.ID
+	for i := 0; i < n; i++ {
+		if !res.Core[i] {
+			continue
+		}
+		r := find(int32(i))
+		id, ok := rootID[r]
+		if !ok {
+			id = next
+			next++
+			rootID[r] = id
+		}
+		res.Labels[i] = id
+	}
+	for i := 0; i < n; i++ {
+		if res.Core[i] {
+			continue
+		}
+		if c := minCoreNbr[i]; c >= 0 {
+			res.Labels[i] = rootID[find(c)]
+		} else {
+			res.Labels[i] = cluster.Noise
+		}
+	}
+
+	// Phase 4 — specific core points (Definition 6) by greedy coverage in
+	// ascending core index order, then specific ε-ranges (Definition 7).
+	if opts.CollectSpecificCores {
+		metric := idx.Metric()
+		for i := 0; i < n; i++ {
+			if res.Core[i] {
+				res.maybeAddSpecificCore(idx, metric, res.Labels[i], i)
+			}
+		}
+		res.computeSpecificEps(idx, metric)
+	}
+	return res, nil
+}

@@ -166,19 +166,29 @@ func (r Rect) Enlargement(s Rect) float64 {
 // zero when p lies inside r. This is the classic R-tree pruning bound: no
 // object inside r can be closer to p than MinDist.
 func (r Rect) MinDist(p Point) float64 {
-	mustSameDim(r.Min, p)
+	return math.Sqrt(r.MinDistSq(p))
+}
+
+// MinDistSq returns MinDist squared, sqrt-free. Range queries that compare
+// against a squared radius prune with this bound directly; the monotonicity
+// of x ↦ x² makes MinDistSq(p) ≤ eps² equivalent to MinDist(p) ≤ eps.
+func (r Rect) MinDistSq(p Point) float64 {
+	if debugChecks {
+		mustSameDim(r.Min, p)
+	}
+	lo, hi := r.Min[:len(p)], r.Max[:len(p)]
 	var sum float64
 	for i := range p {
 		var d float64
 		switch {
-		case p[i] < r.Min[i]:
-			d = r.Min[i] - p[i]
-		case p[i] > r.Max[i]:
-			d = p[i] - r.Max[i]
+		case p[i] < lo[i]:
+			d = lo[i] - p[i]
+		case p[i] > hi[i]:
+			d = p[i] - hi[i]
 		}
 		sum += d * d
 	}
-	return math.Sqrt(sum)
+	return sum
 }
 
 // String renders the rectangle as "[min; max]".

@@ -1,0 +1,18 @@
+//go:build !dbdc_debugchecks
+
+package geom
+
+// debugChecks gates the per-call dimensionality checks in the distance
+// kernels. The checks used to run on every Distance call — a measurable cost
+// in DBSCAN's range-query hot loop, where the same slice lengths are compared
+// millions of times. They are now hoisted to index build/insert time (every
+// index validates uniform dimensionality once) and compiled out of the
+// kernels by default.
+//
+// Build with `-tags dbdc_debugchecks` to re-enable the per-call checks while
+// debugging a new index or metric implementation. Without the tag, a
+// dimensionality mismatch in a kernel still fails loudly when the second
+// point is shorter (slice bounds panic via the q[:len(p)] reslice); a longer
+// second point is silently truncated, which is exactly the class of bug the
+// debug tag exists to catch early.
+const debugChecks = false

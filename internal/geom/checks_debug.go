@@ -1,0 +1,6 @@
+//go:build dbdc_debugchecks
+
+package geom
+
+// debugChecks is enabled by the dbdc_debugchecks build tag; see checks.go.
+const debugChecks = true

@@ -16,18 +16,51 @@ type Metric interface {
 	Name() string
 }
 
+// SquaredMetric is implemented by metrics whose comparisons can be carried
+// out in squared space: DistanceSq returns the square of Distance without
+// taking the square root. Because x ↦ x² is monotone on non-negative values,
+// every threshold test dist(p, q) ≤ eps is equivalent to
+// DistanceSq(p, q) ≤ eps·eps, so indexes that detect this interface prune
+// and verify candidates sqrt-free — the dominant saving of the range-query
+// hot path (see docs/performance.md for the exact contract).
+type SquaredMetric interface {
+	Metric
+	// DistanceSq returns Distance(p, q)². It must be cheaper than Distance
+	// (no root extraction) and induce the same ordering.
+	DistanceSq(p, q Point) float64
+}
+
+// AsSquared returns m as a SquaredMetric when the metric supports squared
+// comparisons, along with whether it does. Callers cache the result at index
+// build time rather than re-asserting per query.
+func AsSquared(m Metric) (SquaredMetric, bool) {
+	sm, ok := m.(SquaredMetric)
+	return sm, ok
+}
+
 // Euclidean is the L2 metric. Its zero value is ready to use.
 type Euclidean struct{}
 
 // Distance returns the L2 distance between p and q.
 func (Euclidean) Distance(p, q Point) float64 {
-	mustSameDim(p, q)
+	return math.Sqrt(Euclidean{}.DistanceSq(p, q))
+}
+
+// DistanceSq implements SquaredMetric: the squared L2 distance, sqrt-free.
+// Dimensions are validated at index build time (or with -tags
+// dbdc_debugchecks); the q[:len(p)] reslice keeps a shorter q loudly
+// panicking and eliminates bounds checks in the loop.
+func (Euclidean) DistanceSq(p, q Point) float64 {
+	if debugChecks {
+		mustSameDim(p, q)
+	}
+	q = q[:len(p)]
 	var sum float64
 	for i := range p {
 		d := p[i] - q[i]
 		sum += d * d
 	}
-	return math.Sqrt(sum)
+	return sum
 }
 
 // Name implements Metric.
@@ -38,7 +71,10 @@ type Manhattan struct{}
 
 // Distance returns the L1 distance between p and q.
 func (Manhattan) Distance(p, q Point) float64 {
-	mustSameDim(p, q)
+	if debugChecks {
+		mustSameDim(p, q)
+	}
+	q = q[:len(p)]
 	var sum float64
 	for i := range p {
 		sum += math.Abs(p[i] - q[i])
@@ -54,7 +90,10 @@ type Chebyshev struct{}
 
 // Distance returns the L∞ distance between p and q.
 func (Chebyshev) Distance(p, q Point) float64 {
-	mustSameDim(p, q)
+	if debugChecks {
+		mustSameDim(p, q)
+	}
+	q = q[:len(p)]
 	var max float64
 	for i := range p {
 		d := math.Abs(p[i] - q[i])
@@ -94,15 +133,9 @@ func (m Minkowski) Name() string { return fmt.Sprintf("minkowski-%g", m.P) }
 // SquaredEuclidean returns the squared L2 distance. It is not a metric (the
 // triangle inequality fails) but is the cheap comparison kernel used by
 // k-means assignment and by index pruning, where only the ordering of
-// distances matters.
+// distances matters. Equivalent to Euclidean{}.DistanceSq.
 func SquaredEuclidean(p, q Point) float64 {
-	mustSameDim(p, q)
-	var sum float64
-	for i := range p {
-		d := p[i] - q[i]
-		sum += d * d
-	}
-	return sum
+	return Euclidean{}.DistanceSq(p, q)
 }
 
 // MetricByName returns the built-in metric with the given name.

@@ -28,7 +28,8 @@ func (c *Clusterer) Delete(i int) error {
 		return fmt.Errorf("incdbscan: object %d already deleted", i)
 	}
 	p := c.tree.Point(i)
-	neighbors := c.tree.Range(p, c.params.Eps) // includes i, pre-deletion
+	c.scratch = c.tree.RangeAppend(p, c.params.Eps, c.scratch)
+	neighbors := c.scratch // includes i, pre-deletion; consumed before reuse
 	if err := c.tree.Delete(i); err != nil {
 		return err
 	}
@@ -91,7 +92,8 @@ func (c *Clusterer) Delete(i int) error {
 		for len(stack) > 0 {
 			q := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, r := range c.tree.Range(c.tree.Point(q), c.params.Eps) {
+			c.scratch = c.tree.RangeAppend(c.tree.Point(q), c.params.Eps, c.scratch)
+			for _, r := range c.scratch {
 				if c.labels[r] != cluster.Unclassified {
 					continue
 				}
@@ -109,7 +111,8 @@ func (c *Clusterer) Delete(i int) error {
 			continue
 		}
 		c.labels[j] = cluster.Noise
-		for _, r := range c.tree.Range(c.tree.Point(j), c.params.Eps) {
+		c.scratch = c.tree.RangeAppend(c.tree.Point(j), c.params.Eps, c.scratch)
+		for _, r := range c.scratch {
 			if r != j && c.core[r] {
 				c.labels[j] = c.find(c.labels[r])
 				break

@@ -39,6 +39,11 @@ type Clusterer struct {
 	parent []cluster.ID
 	// deleted marks removed objects (lazily allocated by Delete).
 	deleted []bool
+	// scratch is the reused ε-neighborhood buffer. Updates are inherently
+	// sequential (the Clusterer is not safe for concurrent mutation), so a
+	// single buffer serves every range query whose result is consumed
+	// before the next query.
+	scratch []int
 }
 
 // New returns an empty incremental clusterer.
@@ -110,7 +115,8 @@ func (c *Clusterer) Insert(p geom.Point) (int, error) {
 	idx := len(c.labels)
 	c.labels = append(c.labels, cluster.Unclassified)
 	c.core = append(c.core, false)
-	neighbors := c.tree.Range(p, c.params.Eps)
+	c.scratch = c.tree.RangeAppend(p, c.params.Eps, c.scratch)
+	neighbors := c.scratch // consumed before the next range query below
 	c.count = append(c.count, len(neighbors))
 	// Update cached neighborhood cardinalities and detect objects whose
 	// core property flips — the seed set of the update.
@@ -151,7 +157,10 @@ func (c *Clusterer) Insert(p geom.Point) (int, error) {
 	}
 	for _, q := range newCores {
 		qid := c.find(c.labels[q])
-		for _, r := range c.tree.Range(c.tree.Point(q), c.params.Eps) {
+		// Reuses the scratch buffer: the insertion neighborhood above is
+		// fully consumed before the first new-core expansion query.
+		c.scratch = c.tree.RangeAppend(c.tree.Point(q), c.params.Eps, c.scratch)
+		for _, r := range c.scratch {
 			if r == q {
 				continue
 			}

@@ -3,6 +3,7 @@ package index
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"github.com/dbdc-go/dbdc/internal/geom"
 )
@@ -21,6 +22,19 @@ type Grid struct {
 	cells    map[string][]int
 	// origin anchors cell coordinates so negative coordinates hash stably.
 	origin geom.Point
+	// sq is the squared-comparison fast path (nil when unsupported); euclid
+	// additionally devirtualizes the common Euclidean case.
+	sq     geom.SquaredMetric
+	euclid bool
+	// scratch pools the per-query cell-walk state so concurrent range
+	// queries stay allocation-free in steady state.
+	scratch sync.Pool
+}
+
+// gridScratch is the reusable per-query state of the cell walk.
+type gridScratch struct {
+	center, coords []int64
+	key            []byte
 }
 
 // NewGrid builds a grid index with cells sized to the intended query radius
@@ -40,15 +54,27 @@ func NewGrid(pts []geom.Point, metric geom.Metric, eps float64) (*Grid, error) {
 		cellSize: eps,
 		cells:    make(map[string][]int),
 	}
+	g.sq, _ = geom.AsSquared(metric)
+	_, g.euclid = metric.(geom.Euclidean)
 	if len(pts) > 0 {
 		g.dim = pts[0].Dim()
 		g.origin = pts[0].Clone()
+		coords := make([]int64, g.dim)
 		for i, p := range pts {
 			if p.Dim() != g.dim {
 				return nil, errors.New("index: grid requires uniform dimensionality")
 			}
-			key := g.cellKey(g.cellCoords(p))
+			g.cellCoordsInto(coords, p)
+			key := string(appendCellKey(nil, coords))
 			g.cells[key] = append(g.cells[key], i)
+		}
+	}
+	dim := g.dim
+	g.scratch.New = func() interface{} {
+		return &gridScratch{
+			center: make([]int64, dim),
+			coords: make([]int64, dim),
+			key:    make([]byte, 0, dim*8),
 		}
 	}
 	return g, nil
@@ -67,24 +93,24 @@ func (g *Grid) Metric() geom.Metric { return g.metric }
 // and diagnostics).
 func (g *Grid) CellCount() int { return len(g.cells) }
 
-func (g *Grid) cellCoords(p geom.Point) []int64 {
-	c := make([]int64, g.dim)
+// cellCoordsInto writes the cell coordinates of p into c (len g.dim).
+func (g *Grid) cellCoordsInto(c []int64, p geom.Point) {
 	for i := 0; i < g.dim; i++ {
 		c[i] = int64(math.Floor((p[i] - g.origin[i]) / g.cellSize))
 	}
-	return c
 }
 
-// cellKey encodes cell coordinates into a compact string map key.
-func (g *Grid) cellKey(coords []int64) string {
-	buf := make([]byte, 0, len(coords)*8)
+// appendCellKey encodes cell coordinates into a compact byte key appended to
+// buf. Lookups convert with string(buf) directly in the map index expression,
+// which the compiler performs without allocating.
+func appendCellKey(buf []byte, coords []int64) []byte {
 	for _, c := range coords {
 		u := uint64(c)
 		buf = append(buf,
 			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
 			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 	}
-	return string(buf)
+	return buf
 }
 
 // Range implements Index.
@@ -92,32 +118,57 @@ func (g *Grid) Range(q geom.Point, eps float64) []int {
 	return g.RangeAppend(q, eps, nil)
 }
 
-// RangeAppend implements RangeAppender.
+// RangeAppend implements RangeAppender. The surrounding-cell walk runs on
+// pooled scratch buffers and verifies candidates in squared space when the
+// metric supports it, so steady-state queries allocate nothing.
 func (g *Grid) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
 	if len(g.pts) == 0 {
 		return out
 	}
+	s := g.scratch.Get().(*gridScratch)
+	center, coords := s.center, s.coords
 	// A point within eps of q differs by at most eps per coordinate, hence
 	// lies within reach cells of q's cell in every dimension.
 	reach := int64(math.Ceil(eps / g.cellSize))
-	center := g.cellCoords(q)
-	coords := make([]int64, g.dim)
-	var walk func(d int)
-	walk = func(d int) {
-		if d == g.dim {
-			for _, i := range g.cells[g.cellKey(coords)] {
-				if g.metric.Distance(q, g.pts[i]) <= eps {
+	g.cellCoordsInto(center, q)
+	for d := range coords {
+		coords[d] = center[d] - reach
+	}
+	eps2 := eps * eps
+	// Odometer walk over the (2·reach+1)^d surrounding cells.
+	for {
+		key := appendCellKey(s.key[:0], coords)
+		for _, i := range g.cells[string(key)] {
+			p := g.pts[i]
+			switch {
+			case g.euclid:
+				if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
+					out = append(out, i)
+				}
+			case g.sq != nil:
+				if g.sq.DistanceSq(q, p) <= eps2 {
+					out = append(out, i)
+				}
+			default:
+				if g.metric.Distance(q, p) <= eps {
 					out = append(out, i)
 				}
 			}
-			return
 		}
-		for off := -reach; off <= reach; off++ {
-			coords[d] = center[d] + off
-			walk(d + 1)
+		d := g.dim - 1
+		for d >= 0 {
+			coords[d]++
+			if coords[d] <= center[d]+reach {
+				break
+			}
+			coords[d] = center[d] - reach
+			d--
+		}
+		if d < 0 {
+			break
 		}
 	}
-	walk(0)
+	g.scratch.Put(s)
 	return out
 }

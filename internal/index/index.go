@@ -70,6 +70,22 @@ func Kinds() []Kind {
 	return []Kind{KindLinear, KindGrid, KindKDTree, KindRStar, KindMTree}
 }
 
+// mustUniformDim panics unless every point shares the dimensionality of the
+// first. The indexes validate once at build time so the geom distance
+// kernels can drop their per-call checks (hoisted hot-path guard; re-enable
+// per-call checks with -tags dbdc_debugchecks).
+func mustUniformDim(pts []geom.Point, kind string) {
+	if len(pts) == 0 {
+		return
+	}
+	dim := pts[0].Dim()
+	for _, p := range pts {
+		if p.Dim() != dim {
+			panic(fmt.Sprintf("index: %s requires uniform dimensionality (%d vs %d)", kind, dim, p.Dim()))
+		}
+	}
+}
+
 // Builder constructs an index over the given points. Grid-based builders use
 // epsHint (the intended query radius) to size their cells; others ignore it.
 type Builder func(pts []geom.Point, metric geom.Metric, epsHint float64) (Index, error)

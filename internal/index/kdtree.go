@@ -19,6 +19,10 @@ type KDTree struct {
 	dim    int
 	nodes  []kdNode
 	root   int32
+	// sq is the squared-comparison fast path (nil when the metric does not
+	// support it); euclid devirtualizes the common Euclidean case.
+	sq     geom.SquaredMetric
+	euclid bool
 }
 
 type kdNode struct {
@@ -34,6 +38,8 @@ func NewKDTree(pts []geom.Point, metric geom.Metric) (*KDTree, error) {
 		metric = geom.Euclidean{}
 	}
 	t := &KDTree{pts: pts, metric: metric, root: -1}
+	t.sq, _ = geom.AsSquared(metric)
+	_, t.euclid = metric.(geom.Euclidean)
 	if len(pts) == 0 {
 		return t, nil
 	}
@@ -84,10 +90,19 @@ func (t *KDTree) Range(q geom.Point, eps float64) []int {
 	return t.RangeAppend(q, eps, nil)
 }
 
-// RangeAppend implements RangeAppender.
+// RangeAppend implements RangeAppender. Point verification runs in squared
+// space when the metric supports it; the per-axis subtree pruning is
+// unchanged (coordinate gaps lower-bound every Lp distance either way).
 func (t *KDTree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
-	t.rangeSearch(t.root, q, eps, &out)
+	switch {
+	case t.euclid:
+		t.rangeSearchEuclid(t.root, q, eps, eps*eps, &out)
+	case t.sq != nil:
+		t.rangeSearchSq(t.root, q, eps, eps*eps, &out)
+	default:
+		t.rangeSearch(t.root, q, eps, &out)
+	}
 	return out
 }
 
@@ -106,6 +121,45 @@ func (t *KDTree) rangeSearch(slot int32, q geom.Point, eps float64, out *[]int) 
 	}
 	if -diff <= eps {
 		t.rangeSearch(n.right, q, eps, out)
+	}
+}
+
+// rangeSearchEuclid is rangeSearch with the Euclidean DistanceSq kernel
+// inlined (concrete receiver, sqrt-free, no interface dispatch).
+func (t *KDTree) rangeSearchEuclid(slot int32, q geom.Point, eps, eps2 float64, out *[]int) {
+	if slot < 0 {
+		return
+	}
+	n := &t.nodes[slot]
+	p := t.pts[n.idx]
+	if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
+		*out = append(*out, int(n.idx))
+	}
+	diff := q[n.axis] - p[n.axis]
+	if diff <= eps {
+		t.rangeSearchEuclid(n.left, q, eps, eps2, out)
+	}
+	if -diff <= eps {
+		t.rangeSearchEuclid(n.right, q, eps, eps2, out)
+	}
+}
+
+// rangeSearchSq is rangeSearch for any other SquaredMetric.
+func (t *KDTree) rangeSearchSq(slot int32, q geom.Point, eps, eps2 float64, out *[]int) {
+	if slot < 0 {
+		return
+	}
+	n := &t.nodes[slot]
+	p := t.pts[n.idx]
+	if t.sq.DistanceSq(q, p) <= eps2 {
+		*out = append(*out, int(n.idx))
+	}
+	diff := q[n.axis] - p[n.axis]
+	if diff <= eps {
+		t.rangeSearchSq(n.left, q, eps, eps2, out)
+	}
+	if -diff <= eps {
+		t.rangeSearchSq(n.right, q, eps, eps2, out)
 	}
 }
 

@@ -12,16 +12,25 @@ import (
 type Linear struct {
 	pts    []geom.Point
 	metric geom.Metric
+	// sq is the squared-comparison fast path, nil when the metric does not
+	// support it; euclid devirtualizes the common Euclidean case entirely.
+	sq     geom.SquaredMetric
+	euclid bool
 }
 
 // NewLinear builds a linear index over pts. The point slice is retained, not
 // copied; callers must not mutate it afterwards. A nil metric defaults to
-// Euclidean.
+// Euclidean. Dimensionality is validated once here so the distance kernels
+// can skip their per-call checks; mixed dimensions panic.
 func NewLinear(pts []geom.Point, metric geom.Metric) *Linear {
 	if metric == nil {
 		metric = geom.Euclidean{}
 	}
-	return &Linear{pts: pts, metric: metric}
+	mustUniformDim(pts, "linear")
+	l := &Linear{pts: pts, metric: metric}
+	l.sq, _ = geom.AsSquared(metric)
+	_, l.euclid = metric.(geom.Euclidean)
+	return l
 }
 
 // Len implements Index.
@@ -38,12 +47,31 @@ func (l *Linear) Range(q geom.Point, eps float64) []int {
 	return l.RangeAppend(q, eps, nil)
 }
 
-// RangeAppend implements RangeAppender.
+// RangeAppend implements RangeAppender. It is allocation-free when buf has
+// capacity and compares in squared space when the metric supports it.
 func (l *Linear) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
-	for i, p := range l.pts {
-		if l.metric.Distance(q, p) <= eps {
-			out = append(out, i)
+	switch {
+	case l.euclid:
+		// Concrete receiver: DistanceSq inlines into the scan loop.
+		eps2 := eps * eps
+		for i, p := range l.pts {
+			if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
+				out = append(out, i)
+			}
+		}
+	case l.sq != nil:
+		eps2 := eps * eps
+		for i, p := range l.pts {
+			if l.sq.DistanceSq(q, p) <= eps2 {
+				out = append(out, i)
+			}
+		}
+	default:
+		for i, p := range l.pts {
+			if l.metric.Distance(q, p) <= eps {
+				out = append(out, i)
+			}
 		}
 	}
 	return out

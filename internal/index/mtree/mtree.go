@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/dbdc-go/dbdc/internal/geom"
 )
@@ -24,7 +25,12 @@ type Tree struct {
 	root       *node
 	pts        []geom.Point
 	size       int
+	// sq is the squared-comparison fast path used by range queries when the
+	// metric supports it (nil otherwise).
+	sq geom.SquaredMetric
 	// distCalls counts metric evaluations; exposed for ablation benches.
+	// Updated atomically: the tree serves range queries from concurrent
+	// readers (e.g. dbscan.RunParallel workers).
 	distCalls int64
 }
 
@@ -61,6 +67,7 @@ func NewWithFanout(pts []geom.Point, metric geom.Metric, maxEntries int) (*Tree,
 		metric = geom.Euclidean{}
 	}
 	t := &Tree{metric: metric, maxEntries: maxEntries}
+	t.sq, _ = geom.AsSquared(metric)
 	for _, p := range pts {
 		if err := t.Insert(p); err != nil {
 			return nil, err
@@ -80,17 +87,31 @@ func (t *Tree) Metric() geom.Metric { return t.metric }
 
 // DistanceCalls returns the number of metric evaluations performed since
 // construction (insertions and queries).
-func (t *Tree) DistanceCalls() int64 { return t.distCalls }
+func (t *Tree) DistanceCalls() int64 { return atomic.LoadInt64(&t.distCalls) }
 
 func (t *Tree) dist(a, b geom.Point) float64 {
-	t.distCalls++
+	atomic.AddInt64(&t.distCalls, 1)
 	return t.metric.Distance(a, b)
+}
+
+// distSq is the squared-space counterpart of dist; callers must have checked
+// t.sq != nil. Squared evaluations count like plain ones: the ablation
+// benches compare metric evaluations, and one DistanceSq stands for one
+// would-be Distance.
+func (t *Tree) distSq(a, b geom.Point) float64 {
+	atomic.AddInt64(&t.distCalls, 1)
+	return t.sq.DistanceSq(a, b)
 }
 
 // Insert adds a point to the tree.
 func (t *Tree) Insert(p geom.Point) error {
 	if !p.IsFinite() {
 		return fmt.Errorf("mtree: non-finite point %v", p)
+	}
+	// Validate dimensionality once at insert time; the distance kernels skip
+	// their per-call checks (hoisted hot-path guard, see geom/checks.go).
+	if len(t.pts) > 0 && p.Dim() != t.pts[0].Dim() {
+		return fmt.Errorf("mtree: point dimensionality %d, tree has %d", p.Dim(), t.pts[0].Dim())
 	}
 	idx := int32(len(t.pts))
 	t.pts = append(t.pts, p)
@@ -287,11 +308,25 @@ func (t *Tree) partitionRadii(es []entry, i, j int) (float64, float64) {
 // Range returns the indexes of all points within distance eps of q,
 // boundary inclusive.
 func (t *Tree) Range(q geom.Point, eps float64) []int {
+	return t.RangeAppend(q, eps, nil)
+}
+
+// RangeAppend is Range writing into buf (truncated to zero length first) —
+// the allocation-free variant used through index.RangeInto. When the metric
+// supports squared comparisons the whole traversal runs sqrt-free: the
+// triangle-inequality prune d − radius ≤ eps is evaluated as
+// d² ≤ (eps+radius)², which is equivalent for the non-negative quantities
+// involved.
+func (t *Tree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
+	out := buf[:0]
 	if t.root == nil {
-		return nil
+		return out
 	}
-	var out []int
-	t.rangeSearch(t.root, q, eps, &out)
+	if t.sq != nil {
+		t.rangeSearchSq(t.root, q, eps, eps*eps, &out)
+	} else {
+		t.rangeSearch(t.root, q, eps, &out)
+	}
 	return out
 }
 
@@ -309,6 +344,26 @@ func (t *Tree) rangeSearch(n *node, q geom.Point, eps float64, out *[]int) {
 		// can only intersect the query ball if d - radius <= eps.
 		if d-e.radius <= eps {
 			t.rangeSearch(e.child, q, eps, out)
+		}
+	}
+}
+
+// rangeSearchSq is rangeSearch in squared space (metric supports
+// SquaredMetric). Leaf verification compares against eps²; routing entries
+// against (eps + radius)².
+func (t *Tree) rangeSearchSq(n *node, q geom.Point, eps, eps2 float64, out *[]int) {
+	for i := range n.entries {
+		e := &n.entries[i]
+		d2 := t.distSq(q, e.pivot)
+		if n.leaf {
+			if d2 <= eps2 {
+				*out = append(*out, int(e.idx))
+			}
+			continue
+		}
+		bound := eps + e.radius
+		if d2 <= bound*bound {
+			t.rangeSearchSq(e.child, q, eps, eps2, out)
 		}
 	}
 }

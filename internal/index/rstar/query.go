@@ -13,26 +13,28 @@ func (t *Tree) Range(q geom.Point, eps float64) []int {
 }
 
 // RangeAppend is Range writing into buf (reused after truncation to zero
-// length), the allocation-free variant the DBSCAN inner loop uses.
+// length), the allocation-free variant the DBSCAN inner loop uses. The
+// R*-tree is Euclidean-only, so both the MBR pruning bound and the leaf
+// verification run entirely in squared space (no sqrt on the hot path).
 func (t *Tree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	if t.root == nil {
 		return buf[:0]
 	}
 	out := buf[:0]
-	t.rangeSearch(t.root, q, eps, &out)
+	t.rangeSearch(t.root, q, eps*eps, &out)
 	return out
 }
 
-func (t *Tree) rangeSearch(n *node, q geom.Point, eps float64, out *[]int) {
+func (t *Tree) rangeSearch(n *node, q geom.Point, eps2 float64, out *[]int) {
 	for _, e := range n.entries {
 		if n.leaf() {
-			if t.metric.Distance(q, t.pts[e.idx]) <= eps {
+			if geom.SquaredEuclidean(q, t.pts[e.idx]) <= eps2 {
 				*out = append(*out, int(e.idx))
 			}
 			continue
 		}
-		if e.rect.MinDist(q) <= eps {
-			t.rangeSearch(e.child, q, eps, out)
+		if e.rect.MinDistSq(q) <= eps2 {
+			t.rangeSearch(e.child, q, eps2, out)
 		}
 	}
 }
@@ -43,20 +45,20 @@ func (t *Tree) RangeCount(q geom.Point, eps float64) int {
 	if t.root == nil {
 		return 0
 	}
-	return t.rangeCount(t.root, q, eps)
+	return t.rangeCount(t.root, q, eps*eps)
 }
 
-func (t *Tree) rangeCount(n *node, q geom.Point, eps float64) int {
+func (t *Tree) rangeCount(n *node, q geom.Point, eps2 float64) int {
 	count := 0
 	for _, e := range n.entries {
 		if n.leaf() {
-			if t.metric.Distance(q, t.pts[e.idx]) <= eps {
+			if geom.SquaredEuclidean(q, t.pts[e.idx]) <= eps2 {
 				count++
 			}
 			continue
 		}
-		if e.rect.MinDist(q) <= eps {
-			count += t.rangeCount(e.child, q, eps)
+		if e.rect.MinDistSq(q) <= eps2 {
+			count += t.rangeCount(e.child, q, eps2)
 		}
 	}
 	return count

@@ -54,32 +54,37 @@ func Run(idx index.Index, params dbscan.Params) (*Result, error) {
 	for i := range reach {
 		reach[i] = Undefined
 	}
-	// coreDist returns the core distance of p given its neighborhood.
+	// coreDist returns the core distance of p given its neighborhood. The
+	// distance buffer is reused across calls (kthSmallest may reorder it).
+	var dists []float64
 	coreDist := func(p int, neighbors []int) float64 {
 		if len(neighbors) < params.MinPts {
 			return Undefined
 		}
 		// The MinPts-smallest distance among the neighborhood (the
 		// neighborhood includes p itself at distance zero).
-		dists := make([]float64, 0, len(neighbors))
+		dists = dists[:0]
 		for _, q := range neighbors {
 			dists = append(dists, metric.Distance(idx.Point(p), idx.Point(q)))
 		}
 		return kthSmallest(dists, params.MinPts-1)
 	}
 	var seeds seedQueue
+	// One reused neighborhood buffer: every neighbor list is fully consumed
+	// (coreDist + update) before the next range query overwrites it.
+	var nbuf []int
 	for start := 0; start < n; start++ {
 		if processed[start] {
 			continue
 		}
 		// Expand a new connected component from start.
 		processed[start] = true
-		neighbors := idx.Range(idx.Point(start), params.Eps)
-		cd := coreDist(start, neighbors)
+		nbuf = index.RangeInto(idx, idx.Point(start), params.Eps, nbuf)
+		cd := coreDist(start, nbuf)
 		res.Order = append(res.Order, Entry{Object: start, Reachability: Undefined, CoreDist: cd})
 		seeds = seeds[:0]
 		if cd != Undefined {
-			update(idx, metric, start, cd, neighbors, processed, reach, &seeds)
+			update(idx, metric, start, cd, nbuf, processed, reach, &seeds)
 		}
 		for seeds.Len() > 0 {
 			q := heap.Pop(&seeds).(seedItem)
@@ -87,7 +92,8 @@ func Run(idx index.Index, params dbscan.Params) (*Result, error) {
 				continue
 			}
 			processed[q.object] = true
-			qNeighbors := idx.Range(idx.Point(q.object), params.Eps)
+			qNeighbors := index.RangeInto(idx, idx.Point(q.object), params.Eps, nbuf)
+			nbuf = qNeighbors
 			qcd := coreDist(q.object, qNeighbors)
 			res.Order = append(res.Order, Entry{
 				Object:       q.object,

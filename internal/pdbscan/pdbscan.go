@@ -184,6 +184,7 @@ func (s *site) clusterLocally(pts []geom.Point, params dbscan.Params) error {
 			s.labels[gi] = assign(local.Labels[v])
 		}
 	}
+	var nbuf []int // reused ε-neighborhood buffer
 	for v := 0; v < len(s.own); v++ {
 		gi := viewIdx[v]
 		if local.Core[v] {
@@ -193,7 +194,8 @@ func (s *site) clusterLocally(pts []geom.Point, params dbscan.Params) error {
 		if local.Labels[v] < 0 {
 			continue
 		}
-		for _, w := range idx.Range(view[v], params.Eps) {
+		nbuf = index.RangeInto(idx, view[v], params.Eps, nbuf)
+		for _, w := range nbuf {
 			if w < len(s.own) && local.Core[w] {
 				s.labels[gi] = assign(local.Labels[w])
 				break
@@ -264,12 +266,14 @@ func merge(pts []geom.Point, params dbscan.Params, sites []*site, res *Result, p
 	if err != nil {
 		return err
 	}
+	var nbuf []int // reused ε-neighborhood buffer
 	for i, b := range boundary {
 		s := sites[b.siteID]
 		if !s.core[b.global] {
 			continue
 		}
-		for _, j := range bIdx.Range(bPts[i], params.Eps) {
+		nbuf = index.RangeInto(bIdx, bPts[i], params.Eps, nbuf)
+		for _, j := range nbuf {
 			o := boundary[j]
 			if o.siteID == b.siteID {
 				continue
@@ -285,7 +289,8 @@ func merge(pts []geom.Point, params dbscan.Params, sites []*site, res *Result, p
 		if sites[b.siteID].labels[b.global] != cluster.Noise {
 			continue
 		}
-		for _, j := range bIdx.Range(bPts[i], params.Eps) {
+		nbuf = index.RangeInto(bIdx, bPts[i], params.Eps, nbuf)
+		for _, j := range nbuf {
 			o := boundary[j]
 			if o.siteID != b.siteID && sites[o.siteID].core[o.global] {
 				adopted[b.global] = keyOf(o.siteID, sites[o.siteID].labels[o.global])
