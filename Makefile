@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke vet experiments examples clean
+.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke benchdiff vet experiments examples clean
 
 all: build vet test
 
@@ -57,6 +57,19 @@ bench-json:
 # longer compile or crash, without paying measurement time. CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchtime 1x -benchmem .
+
+# Run the hot-path suite and diff it against the committed baseline artifact
+# with cmd/benchdiff. BASELINE defaults to the newest committed BENCH_*.json;
+# DIFFFLAGS passes through to benchdiff (e.g. DIFFFLAGS='-fail -threshold
+# 0.25' to gate). Crank BENCHFLAGS='-count=5 -benchtime 2s' for less noise —
+# the default single run trips the 10% threshold on timing jitter alone.
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+DIFFFLAGS ?=
+benchdiff:
+	@test -n "$(BASELINE)" || { echo "benchdiff: no committed BENCH_*.json baseline"; exit 1; }
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchmem $(BENCHFLAGS) . \
+		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD) -out /tmp/dbdc-bench-new.json >/dev/null
+	$(GO) run ./cmd/benchdiff $(DIFFFLAGS) $(BASELINE) /tmp/dbdc-bench-new.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

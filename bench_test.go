@@ -382,7 +382,9 @@ func BenchmarkRelabel(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = lib.Relabel(ds.Points, global)
+		if _, err := lib.Relabel(ds.Points, global); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,77 @@
+// Command benchdiff compares two BENCH_<rev>.json benchmark artifacts (the
+// internal/benchio schema produced by cmd/benchjson, `make bench-json` and
+// dbdc-server -report-json) entry by entry and classifies every shared
+// column — ns/op, B/op, allocs/op, custom metrics with -metrics — against a
+// relative noise threshold:
+//
+//	benchdiff -threshold 0.10 BENCH_old.json BENCH_new.json
+//	benchdiff -fail BENCH_old.json BENCH_new.json   # exit 1 on regression
+//
+// Entries present on only one side are listed as added/removed and never
+// fail the diff. With -fail the exit status is 1 when at least one column
+// regressed beyond the threshold, so CI can gate on it; without -fail the
+// diff is informational (exit 0), the right mode for single-iteration
+// bench-smoke artifacts where timings are all noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dbdc-go/dbdc/internal/benchio"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative change below which a delta is noise")
+	failOnRegression := flag.Bool("fail", false, "exit 1 when any column regressed beyond the threshold")
+	metrics := flag.Bool("metrics", false, "also compare custom b.ReportMetric columns")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-fail] [-metrics] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := readReport(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	res := benchio.Diff(oldRep, newRep, benchio.DiffOptions{
+		Threshold: *threshold,
+		Metrics:   *metrics,
+	})
+	fmt.Printf("benchdiff: %s (rev %s) vs %s (rev %s)\n",
+		flag.Arg(0), revOr(oldRep.Rev), flag.Arg(1), revOr(newRep.Rev))
+	fmt.Print(res)
+	if *failOnRegression && res.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*benchio.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := benchio.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func revOr(rev string) string {
+	if rev == "" {
+		return "?"
+	}
+	return rev
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -10,9 +10,14 @@
 // A round completes as soon as all expected sites delivered a model, or at
 // the accept deadline with at least -quorum usable models (the paper's
 // "the server proceeds with the models it has"). The per-site round report
-// — who delivered, who failed and why, who retried — is printed after
-// every round. Pair it with dbdc-site processes pointing at the same
-// address.
+// — who delivered, who failed and why, who retried, and the per-phase
+// breakdown (worker count, local DBSCAN, condensation, backoff) for sites
+// that attached metrics to their upload — is printed after every round.
+// With -report-json the aggregated breakdown is additionally written in
+// the internal/benchio schema (the BENCH_<rev>.json format), so wire-level
+// runs can be committed and diffed with cmd/benchdiff exactly like the
+// in-process benchmark artifacts. Pair it with dbdc-site processes
+// pointing at the same address.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	lib "github.com/dbdc-go/dbdc"
+	"github.com/dbdc-go/dbdc/internal/benchio"
 	"github.com/dbdc-go/dbdc/internal/transport"
 )
 
@@ -37,6 +43,8 @@ func main() {
 	quorum := flag.Int("quorum", 0, "minimum usable site models per round; 0 = proceed with any")
 	acceptTimeout := flag.Duration("accept-timeout", 0, "accept-phase deadline per round; 0 = -timeout")
 	expectSites := flag.String("expect-sites", "", "comma-separated site ids for per-name failure reporting")
+	reportJSON := flag.String("report-json", "", "write the per-round phase breakdown as a benchio JSON report to this file (\"-\" = stdout)")
+	rev := flag.String("rev", "", "source revision recorded in the JSON report")
 	flag.Parse()
 
 	if *eps <= 0 || *minPts < 1 {
@@ -66,10 +74,30 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dbdc-server: listening on %s for %d sites (quorum %d)\n",
 		srv.Addr(), *sites, *quorum)
+	// The JSON report accumulates one entry group per round (prefix
+	// "round=N/") and is rewritten after every round, so a killed server
+	// still leaves the completed rounds on disk.
+	jsonReport := &benchio.Report{Rev: *rev, Timestamp: time.Now().UTC().Format(time.RFC3339)}
 	for round := 1; round <= *rounds; round++ {
 		global, report, err := srv.RunRoundOpts(opts)
 		if report != nil {
 			fmt.Fprintf(os.Stderr, "dbdc-server: %s\n", report)
+			if *reportJSON != "" {
+				prefix := ""
+				if *rounds > 1 {
+					prefix = fmt.Sprintf("round=%d/", round)
+				}
+				jsonReport.Entries = append(jsonReport.Entries, report.BenchReport(*rev, prefix).Entries...)
+				// Files are rewritten whole after every round so a killed
+				// server keeps its completed rounds; stdout is written
+				// once, after the last round.
+				if *reportJSON != "-" || round == *rounds {
+					if werr := writeReport(*reportJSON, jsonReport); werr != nil {
+						fmt.Fprintf(os.Stderr, "dbdc-server: writing %s: %v\n", *reportJSON, werr)
+						os.Exit(1)
+					}
+				}
+			}
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dbdc-server: round %d failed: %v\n", round, err)
@@ -80,4 +108,21 @@ func main() {
 			round, len(global.Reps), global.NumClusters, global.EpsGlobal,
 			srv.BytesIn(), srv.BytesOut())
 	}
+}
+
+// writeReport writes the accumulated benchio report to path ("-" =
+// stdout). The file is truncated and rewritten whole each round.
+func writeReport(path string, rep *benchio.Report) error {
+	if path == "-" {
+		return benchio.Write(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchio.Write(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	dbdc-site -addr server:7070 -id site-1 -input local.csv -eps 1.2 -minpts 4
+//	dbdc-site -addr server:7070 -id site-1 -input local.csv -eps 1.2 -minpts 4 [-workers 4]
+//
+// -workers > 1 runs the local DBSCAN with that many intra-site goroutines
+// (dbscan.RunParallel), carrying the PR-2 parallel kernel into the
+// networked deployment; the per-phase costs are printed after the round
+// and attached to the upload so the server's round report can show the
+// paper's max(local)+global decomposition.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	lib "github.com/dbdc-go/dbdc"
@@ -25,15 +32,32 @@ func main() {
 	eps := flag.Float64("eps", 0, "DBSCAN Eps_local (required)")
 	minPts := flag.Int("minpts", 0, "DBSCAN MinPts (required)")
 	modelKind := flag.String("model", string(lib.RepScor), "local model: rep-scor or rep-kmeans")
+	workers := flag.Int("workers", 1, "intra-site DBSCAN workers (>1 selects the parallel kernel, 0 = GOMAXPROCS-sized)")
 	out := flag.String("o", "", "output file for global labels (default stdout)")
 	timeout := flag.Duration("timeout", 30*time.Second, "I/O timeout")
 	retries := flag.Int("retries", 3, "max upload attempts on transient failures (1 = no retry)")
 	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff delay between attempts")
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff delay cap")
+	legacyUpload := flag.Bool("legacy-upload", false, "force the pre-metrics MsgLocalModel upload frame (skips the downgrade negotiation against old servers)")
 	serveQueries := flag.String("serve-queries", "", "after the round, serve cluster-membership queries on this address (e.g. :7071) until killed")
 	flag.Parse()
 
 	if *id == "" || *input == "" || *eps <= 0 || *minPts < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Reject unknown model kinds at flag-parse time: historically the raw
+	// string went into the config unvalidated and the site failed only
+	// mid-round, after clustering had already run.
+	kind := lib.ModelKind(*modelKind)
+	if kind != lib.RepScor && kind != lib.RepKMeans {
+		fmt.Fprintf(os.Stderr, "dbdc-site: unknown -model %q (want %q or %q)\n",
+			*modelKind, lib.RepScor, lib.RepKMeans)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "dbdc-site: negative -workers %d\n", *workers)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,13 +70,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	siteWorkers := *workers
+	if siteWorkers == 0 {
+		siteWorkers = runtime.GOMAXPROCS(0)
+	}
 	cfg := lib.Config{
-		Local: lib.Params{Eps: *eps, MinPts: *minPts},
-		Model: lib.ModelKind(*modelKind),
+		Local:       lib.Params{Eps: *eps, MinPts: *minPts},
+		Model:       kind,
+		SiteWorkers: siteWorkers,
 	}
 	client := &lib.TransportClient{
-		Addr:    *addr,
-		Timeout: *timeout,
+		Addr:               *addr,
+		Timeout:            *timeout,
+		DisableTimedUpload: *legacyUpload,
 		Retry: lib.RetryPolicy{
 			MaxAttempts: *retries,
 			BaseDelay:   *retryBase,
@@ -84,6 +114,7 @@ func main() {
 		"dbdc-site %s: %d points, %d global clusters visible, %d former noise adopted, sent %dB, received %dB, %d attempt(s)\n",
 		*id, len(pts), report.Global.NumClusters, report.Stats.NoiseAdopted,
 		report.BytesSent, report.BytesReceived, report.Attempts)
+	fmt.Fprintf(os.Stderr, "dbdc-site %s: phases: %s\n", *id, report.Phases.String())
 	if *serveQueries != "" {
 		qs, err := transport.NewSiteQueryServer(*serveQueries, pts, report.Labels, *timeout)
 		if err != nil {

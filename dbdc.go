@@ -88,6 +88,10 @@ type LocalOutcome = core.LocalOutcome
 // RelabelStats summarises how relabeling changed a site's clustering.
 type RelabelStats = core.RelabelStats
 
+// LocalTimings is the per-phase cost breakdown of a LocalStep (DBSCAN
+// clustering vs representative condensation, plus the worker count).
+type LocalTimings = core.LocalTimings
+
 // LocalModel is the aggregated information a site sends to the server.
 type LocalModel = model.LocalModel
 
@@ -135,8 +139,13 @@ func GlobalStep(models []*LocalModel, cfg Config) (*GlobalModel, error) {
 }
 
 // Relabel assigns global cluster ids to a site's objects from the global
-// model.
-func Relabel(pts []Point, global *GlobalModel) Labeling { return core.Relabel(pts, global) }
+// model. The empty global model (the all-noise sentinel returned by
+// GlobalStep when no representatives arrived) yields an all-noise labeling;
+// a structurally broken global model (e.g. mixed-dimension representatives)
+// returns an error instead of being silently treated as "covers nothing".
+func Relabel(pts []Point, global *GlobalModel) (Labeling, error) {
+	return core.Relabel(pts, global)
+}
 
 // Cluster runs central DBSCAN over all points with the given index kind
 // (empty kind selects the R*-tree) — the reference DBDC is compared
@@ -201,6 +210,18 @@ func Exchange(addr string, local *LocalModel, timeout time.Duration) (*GlobalMod
 
 // SiteReport is the outcome of a networked site run.
 type SiteReport = transport.SiteReport
+
+// PhaseBreakdown is the client-measured per-phase cost of a networked site
+// round: local clustering, condensation, upload (per attempt), server
+// wait, download, relabel.
+type PhaseBreakdown = transport.PhaseBreakdown
+
+// AttemptStats is one connection attempt within a PhaseBreakdown.
+type AttemptStats = transport.AttemptStats
+
+// SitePhases is the per-phase site metrics section attached to a timed
+// model upload and echoed in the server's RoundReport.
+type SitePhases = transport.SitePhases
 
 // NewServer listens for one round of expect site connections.
 func NewServer(addr string, expect int, cfg Config, timeout time.Duration) (*Server, error) {

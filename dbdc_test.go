@@ -70,7 +70,10 @@ func TestPublicStepByStep(t *testing.T) {
 	if global.NumClusters != 1 {
 		t.Fatalf("clusters = %d", global.NumClusters)
 	}
-	labels := dbdc.Relabel(ptsA, global)
+	labels, err := dbdc.Relabel(ptsA, global)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if labels.NumClusters() != 1 {
 		t.Fatalf("relabel found %d clusters", labels.NumClusters())
 	}

@@ -63,7 +63,10 @@ func (s *sensorSite) maybeUpload(serverAddr string) (uploaded bool, global *dbdc
 		log.Fatal(err)
 	}
 	s.lastSent = s.inc.NumClusters()
-	labels := dbdc.Relabel(s.points, g)
+	labels, err := dbdc.Relabel(s.points, g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if s.queries == nil {
 		s.queries, err = dbdc.NewSiteQueryServer("127.0.0.1:0", s.points, labels, 5*time.Second)
 		if err != nil {

@@ -56,8 +56,14 @@ func main() {
 
 	// Step 4: sites relabel their objects from the global model. The halves
 	// of the shared cluster now carry the same global id on both sites.
-	labelsA := dbdc.Relabel(siteA, global)
-	labelsB := dbdc.Relabel(siteB, global)
+	labelsA, err := dbdc.Relabel(siteA, global)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labelsB, err := dbdc.Relabel(siteB, global)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("shared cluster id on site-A: %d, on site-B: %d (same cluster discovered across sites)\n",
 		labelsA[0], labelsB[0])
 

@@ -138,6 +138,16 @@ func Write(w io.Writer, rep *Report) error {
 	return enc.Encode(rep)
 }
 
+// Read decodes a JSON report previously produced by Write — the inverse
+// used by cmd/benchdiff to load committed BENCH_<rev>.json artifacts.
+func Read(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchio: decoding report: %w", err)
+	}
+	return &rep, nil
+}
+
 // Entry returns the first entry whose name starts with prefix (names carry
 // a -GOMAXPROCS suffix, so prefix matching is the ergonomic lookup), or nil.
 func (r *Report) Entry(prefix string) *Entry {

@@ -214,7 +214,10 @@ func TestFigure5RelabelScenario(t *testing.T) {
 		{0, 0.9},  // B: inside → adopted
 		{2.5, 0},  // C: outside → stays noise
 	}
-	labels := Relabel(pts, global)
+	labels, err := Relabel(pts, global)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if labels[0] != 7 || labels[1] != 7 {
 		t.Fatalf("objects in ε-range not adopted: %v", labels)
 	}
@@ -231,18 +234,27 @@ func TestRelabelNearestRepWins(t *testing.T) {
 			{Representative: model.Representative{Point: geom.Point{3, 0}, Eps: 2, LocalCluster: 0}, SiteID: "b", GlobalCluster: 2},
 		},
 	}
-	labels := Relabel([]geom.Point{{1, 0}, {2, 0}}, global)
+	labels, err := Relabel([]geom.Point{{1, 0}, {2, 0}}, global)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if labels[0] != 1 || labels[1] != 2 {
 		t.Fatalf("nearest representative did not win: %v", labels)
 	}
 }
 
 func TestRelabelEmpty(t *testing.T) {
-	labels := Relabel(nil, &model.GlobalModel{EpsGlobal: 1, MinPtsGlobal: 2})
+	labels, err := Relabel(nil, &model.GlobalModel{EpsGlobal: 1, MinPtsGlobal: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(labels) != 0 {
 		t.Fatal("nonempty labels for empty site")
 	}
-	labels = Relabel([]geom.Point{{0, 0}}, &model.GlobalModel{EpsGlobal: 1, MinPtsGlobal: 2})
+	labels, err = Relabel([]geom.Point{{0, 0}}, &model.GlobalModel{EpsGlobal: 1, MinPtsGlobal: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if labels[0] != cluster.Noise {
 		t.Fatal("object labelled without any representative")
 	}
@@ -574,7 +586,10 @@ func TestRelabelSiteStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	labels, stats := RelabelSite(out, global)
+	labels, stats, err := RelabelSite(out, global)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.NoiseAdopted != 1 {
 		t.Fatalf("NoiseAdopted = %d, want 1 (labels %v)", stats.NoiseAdopted, labels[len(labels)-1])
 	}
@@ -827,7 +842,10 @@ func TestRelabelProperty(t *testing.T) {
 		for i := range pts {
 			pts[i] = geom.Point{rng.Float64() * 12, rng.Float64() * 12}
 		}
-		labels := Relabel(pts, global)
+		labels, err := Relabel(pts, global)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, l := range labels {
 			if l == cluster.Noise {
 				// No representative may cover it.

@@ -34,9 +34,13 @@ func GlobalStep(models []*model.LocalModel, cfg Config) (*model.GlobalModel, err
 		epsGlobal = maxEps
 	}
 	if epsGlobal == 0 {
-		// No representatives at all (every site found only noise).
+		// No representatives at all (every site found only noise): return
+		// the documented all-noise sentinel — Reps nil, NumClusters 0,
+		// EpsGlobal 0 (model.GlobalModel.Empty). No clustering happened,
+		// so no radius is invented for sites to relabel against; Relabel
+		// handles the sentinel explicitly by keeping every object noise.
 		return &model.GlobalModel{
-			EpsGlobal:    cfg.Local.Eps, // any positive value validates
+			EpsGlobal:    0,
 			MinPtsGlobal: cfg.MinPtsGlobal,
 		}, nil
 	}

@@ -2,6 +2,7 @@ package dbdc
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dbdc-go/dbdc/internal/cluster"
 	"github.com/dbdc-go/dbdc/internal/dbscan"
@@ -10,6 +11,24 @@ import (
 	"github.com/dbdc-go/dbdc/internal/kmeans"
 	"github.com/dbdc-go/dbdc/internal/model"
 )
+
+// LocalTimings is the per-phase wall-clock breakdown of LocalStep: the
+// DBSCAN clustering of the local objects (index build included — the index
+// exists only to serve the clustering) and the condensation of the clusters
+// into the representatives of the local model. The split is the site-side
+// half of the paper's cost model (Section 8: distributed runtime ≈
+// max(local) + global); the transport forwards it to the server so a round
+// report can show where each site spent its time.
+type LocalTimings struct {
+	// Cluster is the cost of the local DBSCAN run (plus index build).
+	Cluster time.Duration
+	// Condense is the cost of representative condensation (REP_Scor
+	// extraction or the k-means refinement of REP_kMeans).
+	Condense time.Duration
+	// Workers is the resolved intra-site worker count the clustering ran
+	// with (1 = the sequential kernel).
+	Workers int
+}
 
 // LocalOutcome is everything a site derives from its own data: the DBSCAN
 // clustering of the local objects and the local model shipped to the
@@ -23,16 +42,20 @@ type LocalOutcome struct {
 	Clustering *dbscan.Result
 	// Model is the local model to transmit.
 	Model *model.LocalModel
+	// Timings is the per-phase cost breakdown of this LocalStep.
+	Timings LocalTimings
 }
 
 // LocalStep performs steps 1 and 2 of DBDC on one site: cluster the local
 // objects with DBSCAN and condense every cluster into representatives
-// according to cfg.Model.
+// according to cfg.Model. Config.SiteWorkers > 1 selects the intra-site
+// parallel DBSCAN kernel; the phase costs land in the outcome's Timings.
 func LocalStep(siteID string, pts []geom.Point, cfg Config) (*LocalOutcome, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	clusterStart := time.Now()
 	idx, err := index.Build(cfg.Index, pts, geom.Euclidean{}, cfg.Local.Eps)
 	if err != nil {
 		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
@@ -44,6 +67,11 @@ func LocalStep(siteID string, pts []geom.Point, cfg Config) (*LocalOutcome, erro
 	if err != nil {
 		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
 	}
+	timings := LocalTimings{Cluster: time.Since(clusterStart), Workers: cfg.SiteWorkers}
+	if timings.Workers < 1 {
+		timings.Workers = 1
+	}
+	condenseStart := time.Now()
 	m := &model.LocalModel{
 		SiteID:      siteID,
 		Kind:        cfg.Model,
@@ -61,7 +89,8 @@ func LocalStep(siteID string, pts []geom.Point, cfg Config) (*LocalOutcome, erro
 			return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
 		}
 	}
-	return &LocalOutcome{SiteID: siteID, Points: pts, Clustering: res, Model: m}, nil
+	timings.Condense = time.Since(condenseStart)
+	return &LocalOutcome{SiteID: siteID, Points: pts, Clustering: res, Model: m, Timings: timings}, nil
 }
 
 // scorReps builds the REP_Scor local model (Section 5.1): the specific core

@@ -216,15 +216,25 @@ func Run(sites []Site, cfg Config) (*Result, error) {
 	for _, s := range sites {
 		siteResults = append(siteResults, res.Sites[s.ID])
 	}
+	relabelErrs := make([]error, len(siteResults))
 	forEachSite(len(siteResults), pool, func(i int) {
 		sr := siteResults[i]
 		t := time.Now()
-		labels, stats := RelabelSite(sr.Outcome, global)
+		labels, stats, err := RelabelSite(sr.Outcome, global)
+		if err != nil {
+			relabelErrs[i] = fmt.Errorf("dbdc: site %s: %w", sr.Outcome.SiteID, err)
+			return
+		}
 		sr.Labels = labels
 		sr.Stats = stats
 		sr.RelabelDuration = time.Since(t)
 		sr.DownlinkBytes = downlink
 	})
+	for _, err := range relabelErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	res.Wall = time.Since(start)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package dbdc
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/dbdc-go/dbdc/internal/cluster"
@@ -17,13 +18,22 @@ import (
 // formerly independent local clusters merge when their representatives
 // share a global cluster, and former local noise joins global clusters it
 // is close enough to — including clusters discovered only on other sites.
-func Relabel(pts []geom.Point, global *model.GlobalModel) cluster.Labeling {
+//
+// The empty global model (the all-noise sentinel of GlobalStep,
+// model.GlobalModel.Empty) is handled explicitly: every object stays noise
+// and no error is raised. A structurally broken global model — e.g.
+// representatives of mixed dimensionality, which defeats the kd-tree over
+// the representative points — returns an error instead of a silent
+// all-noise labeling.
+func Relabel(pts []geom.Point, global *model.GlobalModel) (cluster.Labeling, error) {
 	labels := cluster.NewLabeling(len(pts))
 	for i := range labels {
 		labels[i] = cluster.Noise
 	}
-	if len(global.Reps) == 0 || len(pts) == 0 {
-		return labels
+	if global.Empty() || len(pts) == 0 {
+		// All-noise sentinel (or nothing to label): noise labeling is the
+		// correct outcome, not a degraded fallback.
+		return labels, nil
 	}
 	// Representatives have individual radii; query a kd-tree over the
 	// representative points with the maximum radius, then verify each
@@ -39,9 +49,12 @@ func Relabel(pts []geom.Point, global *model.GlobalModel) cluster.Labeling {
 	}
 	tree, err := index.NewKDTree(repPts, geom.Euclidean{})
 	if err != nil {
-		// Mixed-dimensionality representatives: fall back to noise-only
-		// labeling; GlobalStep validation makes this unreachable.
-		return labels
+		// Historically this swallowed the error and returned an all-noise
+		// labeling, making a corrupt global model indistinguishable from
+		// "no object is covered". Server-side validation normally rejects
+		// such models, but a library caller can hand Relabel anything.
+		return nil, fmt.Errorf("dbdc: relabel: indexing %d global representatives: %w",
+			len(global.Reps), err)
 	}
 	// Compare in squared space: d ≤ ε_r ∧ d < best ⟺ d² ≤ ε_r² ∧ d² < best²
 	// for non-negative values, so the nearest-covering-representative rule is
@@ -64,7 +77,7 @@ func Relabel(pts []geom.Point, global *model.GlobalModel) cluster.Labeling {
 		}
 		labels[i] = best
 	}
-	return labels
+	return labels, nil
 }
 
 // RelabelOutcome applies Relabel to a LocalOutcome and additionally reports
@@ -82,9 +95,12 @@ type RelabelStats struct {
 
 // RelabelSite relabels the site's objects and derives the change
 // statistics.
-func RelabelSite(outcome *LocalOutcome, global *model.GlobalModel) (cluster.Labeling, RelabelStats) {
-	labels := Relabel(outcome.Points, global)
+func RelabelSite(outcome *LocalOutcome, global *model.GlobalModel) (cluster.Labeling, RelabelStats, error) {
 	var stats RelabelStats
+	labels, err := Relabel(outcome.Points, global)
+	if err != nil {
+		return nil, stats, err
+	}
 	for i := range labels {
 		if outcome.Clustering.Labels[i] == cluster.Noise && labels[i] != cluster.Noise {
 			stats.NoiseAdopted++
@@ -107,5 +123,5 @@ func RelabelSite(outcome *LocalOutcome, global *model.GlobalModel) (cluster.Labe
 			stats.LocalClustersMerged += len(locals)
 		}
 	}
-	return labels, stats
+	return labels, stats, nil
 }

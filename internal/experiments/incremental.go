@@ -133,7 +133,10 @@ func Incremental(opt Options) (*Table, error) {
 	}
 	perSite := make([][]cluster.ID, sites)
 	for s, st := range states {
-		perSite[s] = dbdc.Relabel(st.pts, global)
+		perSite[s], err = dbdc.Relabel(st.pts, global)
+		if err != nil {
+			return nil, err
+		}
 	}
 	distributed, err := data.Assemble(part, perSite, len(ds.Points))
 	if err != nil {

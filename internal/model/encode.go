@@ -166,12 +166,28 @@ func (m *LocalModel) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary decodes a local model, validating limits as it reads.
 func (m *LocalModel) UnmarshalBinary(data []byte) error {
+	n, err := m.UnmarshalBinaryPrefix(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("model: %d trailing bytes after local model", len(data)-n)
+	}
+	return nil
+}
+
+// UnmarshalBinaryPrefix decodes a local model from the beginning of data and
+// returns the number of bytes consumed. Unlike UnmarshalBinary it tolerates
+// trailing bytes, which is how the transport's sectioned upload frames
+// (model bytes immediately followed by optional metric sections) locate the
+// section area: the model encoding is self-delimiting.
+func (m *LocalModel) UnmarshalBinaryPrefix(data []byte) (int, error) {
 	r := &wireReader{data: data}
 	if tag := r.u8(); r.err == nil && tag != tagLocalModel {
-		return fmt.Errorf("model: expected local model frame, got tag 0x%02x", tag)
+		return 0, fmt.Errorf("model: expected local model frame, got tag 0x%02x", tag)
 	}
 	if v := r.u8(); r.err == nil && v != wireVersion {
-		return fmt.Errorf("model: unsupported wire version %d", v)
+		return 0, fmt.Errorf("model: unsupported wire version %d", v)
 	}
 	m.SiteID = r.str(maxWireSiteID)
 	m.Kind = Kind(r.str(maxWireSiteID))
@@ -187,19 +203,16 @@ func (m *LocalModel) UnmarshalBinary(data []byte) error {
 		r.fail("representative count %d exceeds the %d remaining bytes", n, len(data)-r.pos)
 	}
 	if r.err != nil {
-		return r.err
+		return 0, r.err
 	}
 	m.Reps = make([]Representative, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Reps = append(m.Reps, readRep(r))
 	}
 	if r.err != nil {
-		return r.err
+		return 0, r.err
 	}
-	if r.pos != len(data) {
-		return fmt.Errorf("model: %d trailing bytes after local model", len(data)-r.pos)
-	}
-	return nil
+	return r.pos, nil
 }
 
 // PeekLocalSiteID extracts the site id from an encoded local model without

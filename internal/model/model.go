@@ -123,8 +123,17 @@ type GlobalRepresentative struct {
 }
 
 // GlobalModel is what the server broadcasts back to every site.
+//
+// The all-noise round — every site found only noise, so there are no
+// representatives to cluster — is encoded by the documented sentinel
+// Reps == nil (empty), NumClusters == 0, EpsGlobal == 0: no server-side
+// clustering happened, so no radius is fabricated. Empty() reports it and
+// Validate accepts it; relabeling against the sentinel keeps every object
+// noise.
 type GlobalModel struct {
 	// EpsGlobal and MinPtsGlobal are the parameters the server used.
+	// EpsGlobal is 0 exactly when the model is the empty sentinel (no
+	// representatives, no clustering performed).
 	EpsGlobal    float64 `json:"epsGlobal"`
 	MinPtsGlobal int     `json:"minPtsGlobal"`
 	// Reps are all representatives of all sites with global cluster ids.
@@ -133,10 +142,20 @@ type GlobalModel struct {
 	NumClusters int `json:"numClusters"`
 }
 
-// Validate checks structural soundness of a received global model.
+// Empty reports whether the model is the all-noise sentinel: no
+// representatives arrived, so no global clustering was performed and no
+// Eps_global exists.
+func (g *GlobalModel) Empty() bool { return len(g.Reps) == 0 }
+
+// Validate checks structural soundness of a received global model. The
+// empty sentinel (no representatives, NumClusters 0, EpsGlobal 0) is valid;
+// any non-empty model must carry a positive EpsGlobal.
 func (g *GlobalModel) Validate() error {
-	if g.EpsGlobal <= 0 {
-		return fmt.Errorf("model: non-positive EpsGlobal %v", g.EpsGlobal)
+	if g.EpsGlobal < 0 {
+		return fmt.Errorf("model: negative EpsGlobal %v", g.EpsGlobal)
+	}
+	if g.EpsGlobal == 0 && len(g.Reps) > 0 {
+		return fmt.Errorf("model: EpsGlobal 0 with %d representatives (the empty sentinel carries none)", len(g.Reps))
 	}
 	if g.MinPtsGlobal < 1 {
 		return fmt.Errorf("model: MinPtsGlobal %d < 1", g.MinPtsGlobal)

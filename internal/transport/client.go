@@ -3,9 +3,11 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/dbdc-go/dbdc/internal/cluster"
@@ -92,6 +94,9 @@ type SendStats struct {
 	// BytesSent and BytesReceived are summed over all attempts.
 	BytesSent     int
 	BytesReceived int
+	// Log records every attempt with its per-phase timings, failed ones
+	// included.
+	Log []AttemptStats
 }
 
 // Client is the site side of the DBDC round-trip protocol with retry. The
@@ -112,6 +117,10 @@ type Client struct {
 	// OnRetry, when set, is invoked before each backoff sleep with the
 	// attempt number that failed, its error and the chosen delay.
 	OnRetry func(attempt int, err error, delay time.Duration)
+	// DisableTimedUpload forces the legacy MsgLocalModel frame even when
+	// phase metrics are available — useful against servers known to
+	// predate the sectioned upload, skipping the downgrade negotiation.
+	DisableTimedUpload bool
 
 	rngOnce sync.Once
 	rng     *rand.Rand
@@ -144,58 +153,162 @@ func (c *Client) dial() (net.Conn, error) {
 // SendModel uploads the local model and waits for the global model,
 // reconnecting and resending the full model on transient failures per the
 // retry policy. The returned stats hold the attempt count and the wire
-// cost summed over all attempts.
+// cost summed over all attempts. SendModel always uses the legacy
+// MsgLocalModel frame; use SendModelTimed to attach per-phase metrics.
 func (c *Client) SendModel(local *model.LocalModel) (*model.GlobalModel, SendStats, error) {
+	return c.SendModelTimed(local, nil)
+}
+
+// SendModelTimed is SendModel with an optional per-phase metrics section:
+// when phases is non-nil the upload uses the sectioned MsgLocalModelTimed
+// frame, carrying the site's worker count and phase costs to the server's
+// round report. Attempt number and accumulated backoff are filled in per
+// attempt by the client.
+//
+// Version negotiation by fallback: a server that predates the sectioned
+// frame rejects it by closing the connection without a reply. A timed
+// attempt that dies with such a close (EOF or connection reset after a
+// successful upload — not a timeout, dial failure or server-reported
+// error) therefore triggers an immediate legacy retry: no backoff sleep,
+// and without consuming a retry-budget attempt, so MaxAttempts keeps its
+// meaning as the number of fault retries. Genuine faults on a timed
+// attempt (timeouts, refused dials, MsgError replies) go through the
+// normal retry policy and stay timed.
+func (c *Client) SendModelTimed(local *model.LocalModel, phases *SitePhases) (*model.GlobalModel, SendStats, error) {
 	var stats SendStats
-	payload, err := local.MarshalBinary()
+	modelBytes, err := local.MarshalBinary()
 	if err != nil {
 		return nil, stats, err
 	}
-	attempts := c.Retry.MaxAttempts
-	if attempts < 1 {
-		attempts = 1
+	budget := c.Retry.MaxAttempts
+	if budget < 1 {
+		budget = 1
 	}
+	timed := phases != nil && !c.DisableTimedUpload
 	var lastErr error
-	for attempt := 1; attempt <= attempts; attempt++ {
+	var totalBackoff time.Duration
+	var nextBackoff time.Duration // slept before the upcoming attempt
+	used := 0                     // retry budget consumed
+	for {
+		used++
+		attempt := len(stats.Log) + 1
+		payload := modelBytes
+		if timed {
+			p := *phases
+			p.Attempt = attempt
+			p.Backoff = totalBackoff
+			payload = appendSitePhasesSection(append([]byte(nil), modelBytes...), p)
+		}
+		global, as, err := c.exchangeOnce(payload, timed)
+		as.Attempt = attempt
+		as.Timed = timed
+		as.Backoff = nextBackoff
+		nextBackoff = 0
 		stats.Attempts = attempt
-		global, sent, received, err := c.exchangeOnce(payload)
-		stats.BytesSent += sent
-		stats.BytesReceived += received
+		stats.BytesSent += as.BytesSent
+		stats.BytesReceived += as.BytesReceived
+		if err != nil {
+			as.Err = err.Error()
+		}
+		stats.Log = append(stats.Log, as)
 		if err == nil {
 			return global, stats, nil
 		}
 		lastErr = err
-		if !Retryable(err) || attempt == attempts {
+		if timed && frameRejected(err) {
+			// Negotiation fallback: the peer closed without replying,
+			// which is how pre-section servers reject the timed frame.
+			// Retry immediately without the metrics section and without
+			// charging the retry budget.
+			timed = false
+			used--
+			continue
+		}
+		if !Retryable(err) || used >= budget {
 			break
 		}
-		delay := c.Retry.delay(attempt, c.jitterRand())
+		delay := c.Retry.delay(used, c.jitterRand())
 		if c.OnRetry != nil {
 			c.OnRetry(attempt, err, delay)
 		}
 		time.Sleep(delay)
+		totalBackoff += delay
+		nextBackoff = delay
 	}
 	return nil, stats, fmt.Errorf("transport: send model (%d attempt(s)): %w", stats.Attempts, lastErr)
 }
 
-// exchangeOnce performs a single connect–upload–download round trip.
-func (c *Client) exchangeOnce(payload []byte) (*model.GlobalModel, int, int, error) {
+// frameRejected reports whether err looks like the peer dropping the
+// connection without a reply — the way servers that predate
+// MsgLocalModelTimed reject the unknown message type (they close the
+// socket; they never answer). Timeouts, dial failures and server-reported
+// MsgError replies are real faults, not frame rejections, and must go
+// through the normal retry policy instead of a protocol downgrade.
+func frameRejected(err error) bool {
+	if err == nil || !Retryable(err) {
+		return false
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// firstByteReader records when the first reply byte arrived, splitting the
+// reply wait into "server is still working" and "bytes are flowing".
+type firstByteReader struct {
+	r     io.Reader
+	first time.Time
+}
+
+func (f *firstByteReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if n > 0 && f.first.IsZero() {
+		f.first = time.Now()
+	}
+	return n, err
+}
+
+// exchangeOnce performs a single connect–upload–download round trip and
+// reports its per-phase timings.
+func (c *Client) exchangeOnce(payload []byte, timed bool) (*model.GlobalModel, AttemptStats, error) {
+	var as AttemptStats
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	dialStart := time.Now()
 	conn, err := c.dial()
+	as.Dial = time.Since(dialStart)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, as, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(timeout))
-	sent, err := WriteFrame(conn, MsgLocalModel, payload)
-	if err != nil {
-		return nil, sent, 0, err
+	msgOut := MsgLocalModel
+	if timed {
+		msgOut = MsgLocalModelTimed
 	}
-	msgType, reply, received, err := ReadFrame(conn)
+	uploadStart := time.Now()
+	sent, err := WriteFrame(conn, msgOut, payload)
+	as.Upload = time.Since(uploadStart)
+	as.BytesSent = sent
 	if err != nil {
-		return nil, sent, 0, err
+		return nil, as, err
+	}
+	waitStart := time.Now()
+	fbr := &firstByteReader{r: conn}
+	msgType, reply, received, err := ReadFrame(fbr)
+	replyEnd := time.Now()
+	if fbr.first.IsZero() {
+		as.ServerWait = replyEnd.Sub(waitStart)
+	} else {
+		as.ServerWait = fbr.first.Sub(waitStart)
+		as.Download = replyEnd.Sub(fbr.first)
+	}
+	as.BytesReceived = received
+	if err != nil {
+		return nil, as, err
 	}
 	switch msgType {
 	case MsgGlobalModel:
@@ -203,16 +316,16 @@ func (c *Client) exchangeOnce(payload []byte) (*model.GlobalModel, int, int, err
 		if err := global.UnmarshalBinary(reply); err != nil {
 			// The payload passed the CRC, so this is a server-side
 			// encoding problem a retry will reproduce.
-			return nil, sent, received, permanent(err)
+			return nil, as, permanent(err)
 		}
 		if err := global.Validate(); err != nil {
-			return nil, sent, received, permanent(err)
+			return nil, as, permanent(err)
 		}
-		return &global, sent, received, nil
+		return &global, as, nil
 	case MsgError:
-		return nil, sent, received, permanent(fmt.Errorf("transport: server reported: %s", reply))
+		return nil, as, permanent(fmt.Errorf("transport: server reported: %s", reply))
 	default:
-		return nil, sent, received, permanent(fmt.Errorf("transport: unexpected message type 0x%02x", msgType))
+		return nil, as, permanent(fmt.Errorf("transport: unexpected message type 0x%02x", msgType))
 	}
 }
 
@@ -240,27 +353,57 @@ type SiteReport struct {
 	BytesReceived int
 	// Attempts is the number of connection attempts the upload needed.
 	Attempts int
+	// Phases is the client-measured per-phase cost breakdown of the
+	// round: local clustering, condensation, upload (per attempt, with
+	// backoff), server wait, download, relabel.
+	Phases PhaseBreakdown
 }
 
 // RunSite executes the full site-side DBDC pipeline against a remote
-// server: local clustering, model upload (with the default retry policy),
-// global model download, relabeling.
+// server: local clustering (with Config.SiteWorkers intra-site
+// parallelism), model upload (with the default retry policy), global model
+// download, relabeling.
 func RunSite(addr, siteID string, pts []geom.Point, cfg dbdc.Config, timeout time.Duration) (*SiteReport, error) {
 	return RunSiteClient(&Client{Addr: addr, Timeout: timeout, Retry: DefaultRetryPolicy()}, siteID, pts, cfg)
 }
 
 // RunSiteClient is RunSite with a caller-configured transport client
-// (retry policy, dial function, jitter source).
+// (retry policy, dial function, jitter source). The local clustering runs
+// with cfg.SiteWorkers parallel workers, and the phase costs — measured
+// here and attached to the upload — surface both in the returned report
+// and in the server's RoundReport.
 func RunSiteClient(c *Client, siteID string, pts []geom.Point, cfg dbdc.Config) (*SiteReport, error) {
 	outcome, err := dbdc.LocalStep(siteID, pts, cfg)
 	if err != nil {
 		return nil, err
 	}
-	global, stats, err := c.SendModel(outcome.Model)
+	phases := SitePhases{
+		Workers:  outcome.Timings.Workers,
+		Cluster:  outcome.Timings.Cluster,
+		Condense: outcome.Timings.Condense,
+	}
+	global, stats, err := c.SendModelTimed(outcome.Model, &phases)
 	if err != nil {
 		return nil, err
 	}
-	labels, relabel := dbdc.RelabelSite(outcome, global)
+	relabelStart := time.Now()
+	labels, relabel, err := dbdc.RelabelSite(outcome, global)
+	if err != nil {
+		return nil, err
+	}
+	breakdown := PhaseBreakdown{
+		Workers:  outcome.Timings.Workers,
+		Cluster:  outcome.Timings.Cluster,
+		Condense: outcome.Timings.Condense,
+		Relabel:  time.Since(relabelStart),
+		Attempts: stats.Log,
+	}
+	for _, a := range stats.Log {
+		breakdown.Upload += a.Upload
+		breakdown.ServerWait += a.ServerWait
+		breakdown.Download += a.Download
+		breakdown.Backoff += a.Backoff
+	}
 	return &SiteReport{
 		Labels:        labels,
 		Stats:         relabel,
@@ -268,5 +411,6 @@ func RunSiteClient(c *Client, siteID string, pts []geom.Point, cfg dbdc.Config) 
 		BytesSent:     stats.BytesSent,
 		BytesReceived: stats.BytesReceived,
 		Attempts:      stats.Attempts,
+		Phases:        breakdown,
 	}, nil
 }

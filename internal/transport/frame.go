@@ -31,6 +31,15 @@ const (
 	// MsgError carries a UTF-8 error string from server to site when the
 	// round failed (e.g. another site sent garbage).
 	MsgError byte = 0x03
+	// MsgLocalModelTimed carries a model.LocalModel immediately followed
+	// by optional trailer sections (per-phase site metrics; see
+	// phases.go). The frame format itself is unchanged — same version
+	// byte, same CRC — only the payload is sectioned. Servers that predate
+	// the type reject it and close the connection, which the client's
+	// retry loop treats as a downgrade signal: the next attempt falls back
+	// to the plain MsgLocalModel encoding (version negotiation by
+	// fallback; see Client.SendModelTimed).
+	MsgLocalModelTimed byte = 0x08
 )
 
 // FrameVersion is the wire protocol version. Version 2 added the version

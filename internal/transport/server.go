@@ -113,6 +113,11 @@ type SiteOutcome struct {
 	Bytes int
 	// Duration is how long reading the model took.
 	Duration time.Duration
+	// Phases is the client-reported per-phase breakdown (worker count,
+	// local DBSCAN, condensation, attempt, backoff) carried in the
+	// optional metrics section of a MsgLocalModelTimed upload. Nil when
+	// the client sent the legacy frame.
+	Phases *SitePhases
 }
 
 // RoundReport describes how a round went, site by site.
@@ -129,9 +134,47 @@ type RoundReport struct {
 	Sites []SiteOutcome
 	// Duration is the wall-clock time of the whole round.
 	Duration time.Duration
+	// GlobalStepDuration is the server-side global clustering cost;
+	// BroadcastDuration covers encoding the global model and writing it
+	// to every usable site.
+	GlobalStepDuration time.Duration
+	BroadcastDuration  time.Duration
+	// UplinkBytes is the wire size of all usable uploads this round;
+	// DownlinkBytes of all global-model replies.
+	UplinkBytes   int
+	DownlinkBytes int
 }
 
-// String renders a compact multi-line summary for logs.
+// MaxSitePhases returns the element-wise maximum over the reported site
+// phases — the paper's "distributed runtime is the maximum local cost"
+// aggregation (Section 8) — and the number of sites that reported phases.
+func (r *RoundReport) MaxSitePhases() (SitePhases, int) {
+	var max SitePhases
+	n := 0
+	for _, site := range r.Sites {
+		p := site.Phases
+		if !site.OK || p == nil {
+			continue
+		}
+		n++
+		if p.Workers > max.Workers {
+			max.Workers = p.Workers
+		}
+		if p.Cluster > max.Cluster {
+			max.Cluster = p.Cluster
+		}
+		if p.Condense > max.Condense {
+			max.Condense = p.Condense
+		}
+		if p.Backoff > max.Backoff {
+			max.Backoff = p.Backoff
+		}
+	}
+	return max, n
+}
+
+// String renders a compact multi-line summary for logs, including the
+// per-phase breakdown when sites reported one.
 func (r *RoundReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "round: %d/%d sites ok (quorum %d, %d conns, %d retried) in %s",
@@ -144,6 +187,11 @@ func (r *RoundReport) String() string {
 		if site.OK {
 			fmt.Fprintf(&b, "\n  ok   %-16s addr=%s attempts=%d bytes=%d dur=%s",
 				name, site.Addr, site.Attempts, site.Bytes, site.Duration.Round(time.Millisecond))
+			if p := site.Phases; p != nil {
+				fmt.Fprintf(&b, " workers=%d cluster=%s condense=%s backoff=%s",
+					p.Workers, p.Cluster.Round(time.Microsecond),
+					p.Condense.Round(time.Microsecond), p.Backoff.Round(time.Microsecond))
+			}
 		} else {
 			addr := site.Addr
 			if addr == "" {
@@ -152,6 +200,14 @@ func (r *RoundReport) String() string {
 			fmt.Fprintf(&b, "\n  FAIL %-16s addr=%s attempts=%d reason=%s",
 				name, addr, site.Attempts, site.Reason)
 		}
+	}
+	if max, n := r.MaxSitePhases(); n > 0 {
+		// max(local) + global: the distributed-runtime decomposition of
+		// the paper's Figure 10, measured over the wire.
+		fmt.Fprintf(&b, "\n  phases (%d/%d sites reporting): max cluster=%s max condense=%s global=%s broadcast=%s in=%dB out=%dB",
+			n, r.OK, max.Cluster.Round(time.Microsecond), max.Condense.Round(time.Microsecond),
+			r.GlobalStepDuration.Round(time.Microsecond), r.BroadcastDuration.Round(time.Microsecond),
+			r.UplinkBytes, r.DownlinkBytes)
 	}
 	return b.String()
 }
@@ -162,12 +218,16 @@ type readResult struct {
 	addr   string
 	siteID string // best effort on failures
 	m      *model.LocalModel
+	phases *SitePhases // client-reported metrics, nil for legacy uploads
 	err    error
 	bytes  int
 	dur    time.Duration
 }
 
-// readLocalModel reads and validates one site's model upload.
+// readLocalModel reads and validates one site's model upload. Both the
+// legacy MsgLocalModel frame (the model is the whole payload) and the
+// sectioned MsgLocalModelTimed frame (model followed by optional metric
+// sections) are accepted, so old clients keep working against this server.
 func (s *Server) readLocalModel(conn net.Conn, deadline time.Time, out chan<- readResult) {
 	start := time.Now()
 	res := readResult{conn: conn, addr: conn.RemoteAddr().String()}
@@ -190,22 +250,34 @@ func (s *Server) readLocalModel(conn net.Conn, deadline time.Time, out chan<- re
 	// Best-effort identification even when the rest fails: the site id
 	// is the first field of the payload.
 	res.siteID = model.PeekLocalSiteID(payload)
-	if msgType != MsgLocalModel {
+	if msgType != MsgLocalModel && msgType != MsgLocalModelTimed {
 		res.err = fmt.Errorf("transport: expected local model, got message type 0x%02x", msgType)
 		res.dur = time.Since(start)
 		out <- res
 		return
 	}
 	var m model.LocalModel
-	if err := m.UnmarshalBinary(payload); err == nil {
+	consumed, err := m.UnmarshalBinaryPrefix(payload)
+	switch {
+	case err != nil:
+		res.err = err
+	case msgType == MsgLocalModel && consumed != len(payload):
+		res.err = fmt.Errorf("model: %d trailing bytes after local model", len(payload)-consumed)
+	default:
+		if msgType == MsgLocalModelTimed {
+			phases, serr := parseSections(payload[consumed:])
+			if serr != nil {
+				res.err = serr
+				break
+			}
+			res.phases = phases
+		}
 		if verr := m.Validate(); verr != nil {
 			res.err = verr
 		} else {
 			res.m = &m
 			res.siteID = m.SiteID
 		}
-	} else {
-		res.err = err
 	}
 	res.dur = time.Since(start)
 	out <- res
@@ -397,12 +469,15 @@ func (s *Server) RunRoundOpts(opts RoundOptions) (*model.GlobalModel, *RoundRepo
 		models = append(models, good[id].m)
 	}
 
+	globalStart := time.Now()
 	global, err := dbdc.GlobalStep(models, s.cfg)
+	report.GlobalStepDuration = time.Since(globalStart)
 	if err != nil {
 		closeGood(err.Error())
 		report.Duration = time.Since(start)
 		return nil, report, err
 	}
+	broadcastStart := time.Now()
 	payload, err := global.MarshalBinary()
 	if err != nil {
 		closeGood(err.Error())
@@ -414,9 +489,11 @@ func (s *Server) RunRoundOpts(opts RoundOptions) (*model.GlobalModel, *RoundRepo
 		r.conn.SetDeadline(time.Now().Add(s.timeout))
 		if n, werr := WriteFrame(r.conn, MsgGlobalModel, payload); werr == nil {
 			s.bytesOut.Add(int64(n))
+			report.DownlinkBytes += n
 		}
 		r.conn.Close()
 	}
+	report.BroadcastDuration = time.Since(broadcastStart)
 	report.Duration = time.Since(start)
 	return global, report, nil
 }
@@ -442,6 +519,7 @@ func (s *Server) buildReport(start time.Time, quorum int, good map[string]readRe
 		if attempts[id] > 1 {
 			report.Retried++
 		}
+		report.UplinkBytes += r.bytes
 		report.Sites = append(report.Sites, SiteOutcome{
 			SiteID:   id,
 			Addr:     r.addr,
@@ -449,6 +527,7 @@ func (s *Server) buildReport(start time.Time, quorum int, good map[string]readRe
 			Attempts: attempts[id],
 			Bytes:    r.bytes,
 			Duration: r.dur,
+			Phases:   r.phases,
 		})
 	}
 	// Connection failures whose site later succeeded are folded into the
