@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke benchdiff vet experiments examples clean
+.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke benchdiff loadgen-smoke vet experiments examples clean
 
 all: build vet test
 
@@ -70,6 +70,13 @@ benchdiff:
 	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchmem $(BENCHFLAGS) . \
 		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD) -out /tmp/dbdc-bench-new.json >/dev/null
 	$(GO) run ./cmd/benchdiff $(DIFFFLAGS) $(BASELINE) /tmp/dbdc-bench-new.json
+
+# Serving smoke: the in-process twin of a dbdc-loadgen run — boots a
+# classification front end, drives closed-loop load against it for both
+# request shapes and checks the benchio report is coherent (see
+# docs/serving.md). CI runs this plus the serve package under -race.
+loadgen-smoke:
+	$(GO) test -race -run 'TestLoadgenSmoke' -count=1 -v ./internal/serve/
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// newestTwo resolves directory mode: it scans dir for BENCH_*.json
+// artifacts and returns the two most recently modified, oldest first — the
+// natural "diff my last run against the one before" gesture after a series
+// of `make bench-json` runs into the same directory. Modification-time ties
+// (filesystem timestamp granularity, archive extraction) break by name so
+// the choice stays deterministic.
+func newestTwo(dir string) (oldPath, newPath string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	type artifact struct {
+		path string
+		mod  time.Time
+	}
+	arts := make([]artifact, 0, len(matches))
+	for _, p := range matches {
+		info, err := os.Stat(p)
+		if err != nil {
+			return "", "", err
+		}
+		if info.IsDir() {
+			continue
+		}
+		arts = append(arts, artifact{path: p, mod: info.ModTime()})
+	}
+	if len(arts) < 2 {
+		return "", "", fmt.Errorf("%s holds %d BENCH_*.json artifacts, need at least 2 for a diff", dir, len(arts))
+	}
+	sort.Slice(arts, func(i, j int) bool {
+		if !arts[i].mod.Equal(arts[j].mod) {
+			return arts[i].mod.Before(arts[j].mod)
+		}
+		return arts[i].path < arts[j].path
+	})
+	return arts[len(arts)-2].path, arts[len(arts)-1].path, nil
+}

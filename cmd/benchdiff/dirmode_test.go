@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func touch(t *testing.T, dir, name string, mod time.Time) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, mod, mod); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNewestTwo(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour).Truncate(time.Second)
+	touch(t, dir, "BENCH_aaa.json", base)
+	oldWant := touch(t, dir, "BENCH_bbb.json", base.Add(10*time.Minute))
+	newWant := touch(t, dir, "BENCH_ccc.json", base.Add(20*time.Minute))
+	// Non-matching files are invisible to the scan even when newest.
+	touch(t, dir, "notes.json", base.Add(time.Hour))
+	touch(t, dir, "BENCH_zzz.txt", base.Add(time.Hour))
+
+	oldPath, newPath, err := newestTwo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPath != oldWant || newPath != newWant {
+		t.Fatalf("newestTwo = (%s, %s), want (%s, %s)", oldPath, newPath, oldWant, newWant)
+	}
+}
+
+func TestNewestTwoTieBreaksByName(t *testing.T) {
+	dir := t.TempDir()
+	same := time.Now().Add(-time.Hour).Truncate(time.Second)
+	a := touch(t, dir, "BENCH_a.json", same)
+	b := touch(t, dir, "BENCH_b.json", same)
+	oldPath, newPath, err := newestTwo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical timestamps: lexicographic order decides, deterministically.
+	if oldPath != a || newPath != b {
+		t.Fatalf("tie broke to (%s, %s), want (%s, %s)", oldPath, newPath, a, b)
+	}
+}
+
+func TestNewestTwoNeedsTwoArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := newestTwo(dir); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	touch(t, dir, "BENCH_only.json", time.Now())
+	if _, _, err := newestTwo(dir); err == nil {
+		t.Fatal("single artifact accepted")
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	benchdiff -threshold 0.10 BENCH_old.json BENCH_new.json
 //	benchdiff -fail BENCH_old.json BENCH_new.json   # exit 1 on regression
+//	benchdiff bench-history/                        # newest two artifacts in the dir
+//
+// With a single directory argument, benchdiff picks the two most recently
+// modified BENCH_*.json files in it and diffs the older against the newer —
+// the "did my last run regress?" gesture for a directory accumulating one
+// artifact per revision.
 //
 // Entries present on only one side are listed as added/removed and never
 // fail the diff. With -fail the exit status is 1 when at least one column
@@ -27,15 +33,33 @@ func main() {
 	failOnRegression := flag.Bool("fail", false, "exit 1 when any column regressed beyond the threshold")
 	metrics := flag.Bool("metrics", false, "also compare custom b.ReportMetric columns")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-fail] [-metrics] OLD.json NEW.json")
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	case 1:
+		// Directory mode: diff the newest two artifacts in the directory.
+		info, err := os.Stat(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if !info.IsDir() {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-fail] [-metrics] OLD.json NEW.json | DIR")
+			os.Exit(2)
+		}
+		oldPath, newPath, err = newestTwo(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-fail] [-metrics] OLD.json NEW.json | DIR")
 		os.Exit(2)
 	}
-	oldRep, err := readReport(flag.Arg(0))
+	oldRep, err := readReport(oldPath)
 	if err != nil {
 		fatal(err)
 	}
-	newRep, err := readReport(flag.Arg(1))
+	newRep, err := readReport(newPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -44,7 +68,7 @@ func main() {
 		Metrics:   *metrics,
 	})
 	fmt.Printf("benchdiff: %s (rev %s) vs %s (rev %s)\n",
-		flag.Arg(0), revOr(oldRep.Rev), flag.Arg(1), revOr(newRep.Rev))
+		oldPath, revOr(oldRep.Rev), newPath, revOr(newRep.Rev))
 	fmt.Print(res)
 	if *failOnRegression && res.Regressions > 0 {
 		os.Exit(1)

@@ -1,0 +1,111 @@
+// Command dbdc-loadgen drives a classification front end (dbdc-server or
+// dbdc-site with -serve-classify) with closed-loop load and reports
+// throughput and latency percentiles.
+//
+// Usage:
+//
+//	dbdc-loadgen -addr 127.0.0.1:7072 [-conc 8] [-duration 10s] [-batch 16] \
+//	    [-dataset a|b|c] [-n 8700] [-seed 1] [-input points.csv] \
+//	    [-report-json out.json] [-rev $(git rev-parse --short HEAD)]
+//
+// Each worker owns one persistent connection and keeps exactly one request
+// in flight (send, wait, record, repeat), so the offered load adapts to
+// what the server sustains — the standard closed-loop benchmarking model.
+// The query pool is either a CSV of points (-input) or a generated paper
+// dataset (-dataset/-n/-seed, matching cmd/datagen). With -report-json the
+// run is written in the internal/benchio schema, so serving throughput
+// joins the BENCH_<rev>.json trajectory and cmd/benchdiff can flag
+// regressions across revisions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/benchio"
+	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7072", "classification front end address")
+	conc := flag.Int("conc", 0, "concurrent workers (connections); 0 = GOMAXPROCS")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	batch := flag.Int("batch", 1, "points per request (1 = MsgClassify, >1 = MsgClassifyBatch)")
+	dataset := flag.String("dataset", "a", "query pool generator: a, b or c (paper test data sets)")
+	n := flag.Int("n", data.DatasetASize, "query pool cardinality (dataset a only)")
+	seed := flag.Int64("seed", 1, "query pool generator seed")
+	input := flag.String("input", "", "CSV of query points (overrides -dataset)")
+	timeout := flag.Duration("timeout", 10*time.Second, "dial and per-request I/O timeout")
+	reportJSON := flag.String("report-json", "", "write the run as a benchio JSON report to this file (\"-\" = stdout)")
+	rev := flag.String("rev", "", "source revision recorded in the JSON report")
+	flag.Parse()
+
+	pts, err := queryPool(*input, *dataset, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dbdc-loadgen: %d query points against %s\n", len(pts), *addr)
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Addr:        *addr,
+		Concurrency: *conc,
+		Duration:    *duration,
+		BatchSize:   *batch,
+		Points:      pts,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dbdc-loadgen: %s\n", res)
+	if *reportJSON != "" {
+		rep := res.BenchReport(*rev)
+		var werr error
+		if *reportJSON == "-" {
+			werr = benchio.Write(os.Stdout, rep)
+		} else {
+			var f *os.File
+			if f, werr = os.Create(*reportJSON); werr == nil {
+				if werr = benchio.Write(f, rep); werr != nil {
+					f.Close()
+				} else {
+					werr = f.Close()
+				}
+			}
+		}
+		if werr != nil {
+			fatal(fmt.Errorf("writing %s: %w", *reportJSON, werr))
+		}
+	}
+}
+
+// queryPool loads the query points from a CSV or generates a paper dataset,
+// mirroring cmd/datagen's -dataset selection.
+func queryPool(input, dataset string, n int, seed int64) ([]geom.Point, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return data.ReadCSV(f)
+	}
+	switch dataset {
+	case "a", "A":
+		return data.DatasetA(n, seed).Points, nil
+	case "b", "B":
+		return data.DatasetB(seed).Points, nil
+	case "c", "C":
+		return data.DatasetC(seed).Points, nil
+	default:
+		return nil, fmt.Errorf("unknown -dataset %q (want a, b or c)", dataset)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dbdc-loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -18,6 +18,14 @@
 // runs can be committed and diffed with cmd/benchdiff exactly like the
 // in-process benchmark artifacts. Pair it with dbdc-site processes
 // pointing at the same address.
+//
+// With -serve-classify the server doubles as an online classification
+// front end: every completed round publishes its global model into a
+// versioned registry (hot-swapped atomically under live traffic) and the
+// process keeps answering MsgClassify/MsgClassifyBatch requests after the
+// last round until killed. -metrics-addr additionally exposes Prometheus
+// metrics (QPS, latency percentiles, model version) over HTTP. See
+// docs/serving.md.
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 
 	lib "github.com/dbdc-go/dbdc"
 	"github.com/dbdc-go/dbdc/internal/benchio"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/serve"
 	"github.com/dbdc-go/dbdc/internal/transport"
 )
 
@@ -45,6 +55,9 @@ func main() {
 	expectSites := flag.String("expect-sites", "", "comma-separated site ids for per-name failure reporting")
 	reportJSON := flag.String("report-json", "", "write the per-round phase breakdown as a benchio JSON report to this file (\"-\" = stdout)")
 	rev := flag.String("rev", "", "source revision recorded in the JSON report")
+	serveClassify := flag.String("serve-classify", "", "serve online classification on this address (e.g. :7072); every completed round hot-swaps the model, and the server keeps answering after the last round until killed")
+	classifyIndex := flag.String("classify-index", string(index.KindKDTree), "spatial index the classifier bulk-loads the representatives into")
+	metricsAddr := flag.String("metrics-addr", "", "expose Prometheus metrics over HTTP on this address (e.g. :9090)")
 	flag.Parse()
 
 	if *eps <= 0 || *minPts < 1 {
@@ -61,6 +74,56 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
+
+	// Online classification: completed rounds publish their global model
+	// into a versioned registry; a front end answers MsgClassify frames
+	// against the current snapshot and hot-swaps between rounds.
+	var classifySrv *serve.Server
+	var classifyDone chan error
+	if *serveClassify != "" {
+		ik := index.Kind(*classifyIndex)
+		valid := false
+		for _, k := range index.Kinds() {
+			if k == ik {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "dbdc-server: unknown -classify-index %q (want one of %v)\n", *classifyIndex, index.Kinds())
+			os.Exit(2)
+		}
+		registry := serve.NewRegistry(ik)
+		metrics := serve.NewMetrics(registry)
+		srv.SetOnGlobal(registry.PublishFunc(func(err error) {
+			fmt.Fprintf(os.Stderr, "dbdc-server: publishing global model: %v\n", err)
+		}))
+		classifySrv, err = serve.NewServer(*serveClassify, serve.ServerConfig{
+			Registry: registry,
+			Metrics:  metrics,
+			Timeout:  *timeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+			os.Exit(1)
+		}
+		defer classifySrv.Close()
+		classifyDone = make(chan error, 1)
+		go func() { classifyDone <- classifySrv.Serve() }()
+		fmt.Fprintf(os.Stderr, "dbdc-server: serving classification on %s (index %s)\n",
+			classifySrv.Addr(), ik)
+		if *metricsAddr != "" {
+			closeFn, bound, err := metrics.ListenAndServe(*metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+				os.Exit(1)
+			}
+			defer closeFn()
+			fmt.Fprintf(os.Stderr, "dbdc-server: metrics on http://%s/metrics\n", bound)
+		}
+	} else if *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "dbdc-server: -metrics-addr needs -serve-classify")
+		os.Exit(2)
+	}
 	opts := transport.RoundOptions{
 		Quorum:        *quorum,
 		AcceptTimeout: *acceptTimeout,
@@ -107,6 +170,15 @@ func main() {
 			"dbdc-server: round %d: %d representatives in %d global clusters (Eps_global=%g), in=%dB out=%dB\n",
 			round, len(global.Reps), global.NumClusters, global.EpsGlobal,
 			srv.BytesIn(), srv.BytesOut())
+	}
+	// With a classification front end, the rounds only feed the registry:
+	// the process keeps answering queries until killed.
+	if classifySrv != nil {
+		fmt.Fprintln(os.Stderr, "dbdc-server: rounds done; serving classification until killed")
+		if err := <-classifyDone; err != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

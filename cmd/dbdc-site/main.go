@@ -11,6 +11,12 @@
 // networked deployment; the per-phase costs are printed after the round
 // and attached to the upload so the server's round report can show the
 // paper's max(local)+global decomposition.
+//
+// With -serve-classify the site keeps running after the round and labels
+// new points online against the received global model (the paper's "new
+// objects are inserted by classifying them against the representatives");
+// -metrics-addr exposes Prometheus metrics for that front end. See
+// docs/serving.md.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 
 	lib "github.com/dbdc-go/dbdc"
 	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/serve"
 	"github.com/dbdc-go/dbdc/internal/transport"
 )
 
@@ -40,6 +48,9 @@ func main() {
 	retryMax := flag.Duration("retry-max", 2*time.Second, "backoff delay cap")
 	legacyUpload := flag.Bool("legacy-upload", false, "force the pre-metrics MsgLocalModel upload frame (skips the downgrade negotiation against old servers)")
 	serveQueries := flag.String("serve-queries", "", "after the round, serve cluster-membership queries on this address (e.g. :7071) until killed")
+	serveClassify := flag.String("serve-classify", "", "after the round, classify new points against the received global model on this address (e.g. :7072) until killed")
+	classifyIndex := flag.String("classify-index", string(index.KindKDTree), "spatial index the local classifier bulk-loads the representatives into")
+	metricsAddr := flag.String("metrics-addr", "", "expose Prometheus classification metrics over HTTP on this address (needs -serve-classify)")
 	flag.Parse()
 
 	if *id == "" || *input == "" || *eps <= 0 || *minPts < 1 {
@@ -115,6 +126,52 @@ func main() {
 		*id, len(pts), report.Global.NumClusters, report.Stats.NoiseAdopted,
 		report.BytesSent, report.BytesReceived, report.Attempts)
 	fmt.Fprintf(os.Stderr, "dbdc-site %s: phases: %s\n", *id, report.Phases.String())
+	// Online classification against the freshly received global model: the
+	// site publishes it into a local registry and answers MsgClassify
+	// frames until killed. A future round (re-running the site) would
+	// publish version 2 and hot-swap under live traffic.
+	var classifyDone chan error
+	if *serveClassify != "" {
+		ik := index.Kind(*classifyIndex)
+		valid := false
+		for _, k := range index.Kinds() {
+			if k == ik {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "dbdc-site: unknown -classify-index %q (want one of %v)\n", *classifyIndex, index.Kinds())
+			os.Exit(2)
+		}
+		registry := serve.NewRegistry(ik)
+		metrics := serve.NewMetrics(registry)
+		if _, err := registry.Publish(report.Global); err != nil {
+			fatal(err)
+		}
+		cs, err := serve.NewServer(*serveClassify, serve.ServerConfig{
+			Registry: registry,
+			Metrics:  metrics,
+			Timeout:  *timeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer cs.Close()
+		classifyDone = make(chan error, 1)
+		go func() { classifyDone <- cs.Serve() }()
+		fmt.Fprintf(os.Stderr, "dbdc-site %s: serving classification on %s (index %s)\n", *id, cs.Addr(), ik)
+		if *metricsAddr != "" {
+			closeFn, bound, err := metrics.ListenAndServe(*metricsAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer closeFn()
+			fmt.Fprintf(os.Stderr, "dbdc-site %s: metrics on http://%s/metrics\n", *id, bound)
+		}
+	} else if *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "dbdc-site: -metrics-addr needs -serve-classify")
+		os.Exit(2)
+	}
 	if *serveQueries != "" {
 		qs, err := transport.NewSiteQueryServer(*serveQueries, pts, report.Labels, *timeout)
 		if err != nil {
@@ -123,6 +180,11 @@ func main() {
 		defer qs.Close()
 		fmt.Fprintf(os.Stderr, "dbdc-site %s: serving cluster queries on %s\n", *id, qs.Addr())
 		if err := qs.Serve(0); err != nil {
+			fatal(err)
+		}
+	}
+	if classifyDone != nil {
+		if err := <-classifyDone; err != nil {
 			fatal(err)
 		}
 	}

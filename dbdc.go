@@ -38,6 +38,7 @@ import (
 	"github.com/dbdc-go/dbdc/internal/index"
 	"github.com/dbdc-go/dbdc/internal/model"
 	"github.com/dbdc-go/dbdc/internal/quality"
+	"github.com/dbdc-go/dbdc/internal/serve"
 	"github.com/dbdc-go/dbdc/internal/transport"
 	"github.com/dbdc-go/dbdc/internal/viz"
 )
@@ -259,6 +260,55 @@ type RoundReport = transport.RoundReport
 
 // SiteOutcome is one site's fate within a RoundReport.
 type SiteOutcome = transport.SiteOutcome
+
+// ModelRegistry is the versioned model registry of the online
+// classification subsystem: Publish atomically hot-swaps the served global
+// model, readers get consistent snapshots wait-free. Feed it from a Server
+// or UpdateServer via SetOnGlobal(registry.PublishFunc(onErr)); see
+// docs/serving.md.
+type ModelRegistry = serve.Registry
+
+// NewModelRegistry returns an empty registry whose classifiers bulk-load
+// the representatives into the given index kind ("" = kd-tree).
+func NewModelRegistry(kind IndexKind) *ModelRegistry { return serve.NewRegistry(kind) }
+
+// Classifier labels points online against a global model using the same
+// representative-selection rule as Relabel (differentially tested).
+type Classifier = serve.Classifier
+
+// NewClassifier builds a classifier over the global model.
+func NewClassifier(global *GlobalModel, kind IndexKind) (*Classifier, error) {
+	return serve.NewClassifier(global, kind)
+}
+
+// ClassifyServer is the TCP classification front end: persistent
+// connections, batched requests, per-request model snapshots.
+type ClassifyServer = serve.Server
+
+// ClassifyServerConfig configures a ClassifyServer.
+type ClassifyServerConfig = serve.ServerConfig
+
+// NewClassifyServer listens on addr and answers classification requests
+// against the registry's current snapshot.
+func NewClassifyServer(addr string, cfg ClassifyServerConfig) (*ClassifyServer, error) {
+	return serve.NewServer(addr, cfg)
+}
+
+// ClassifyClient speaks the classification protocol over one persistent
+// connection (single-flight; give each goroutine its own).
+type ClassifyClient = serve.Client
+
+// DialClassify connects to a classification front end.
+func DialClassify(addr string, timeout time.Duration) (*ClassifyClient, error) {
+	return serve.Dial(addr, timeout)
+}
+
+// ServeMetrics aggregates the serving observability signals and renders
+// them in the Prometheus text exposition format.
+type ServeMetrics = serve.Metrics
+
+// NewServeMetrics returns a metrics hub bound to the registry.
+func NewServeMetrics(reg *ModelRegistry) *ServeMetrics { return serve.NewMetrics(reg) }
 
 // Incremental is an incrementally maintained DBSCAN clustering (Ester et
 // al. 1998): sites use it to keep their local clustering current as objects

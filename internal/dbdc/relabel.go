@@ -1,9 +1,6 @@
 package dbdc
 
 import (
-	"fmt"
-	"math"
-
 	"github.com/dbdc-go/dbdc/internal/cluster"
 	"github.com/dbdc-go/dbdc/internal/geom"
 	"github.com/dbdc-go/dbdc/internal/index"
@@ -13,11 +10,16 @@ import (
 // Relabel performs step 4 of DBDC on one site: every local object o that
 // lies within the ε_r-range of a representative r of the global model is
 // assigned r's global cluster id (Section 7). When several representatives
-// cover o, the nearest one wins, which makes the relabeling deterministic.
-// Objects covered by no representative stay noise. Through this rule two
-// formerly independent local clusters merge when their representatives
-// share a global cluster, and former local noise joins global clusters it
-// is close enough to — including clusters discovered only on other sites.
+// cover o, the nearest one wins (exact ties break toward the lowest
+// representative index), which makes the relabeling deterministic. Objects
+// covered by no representative stay noise. Through this rule two formerly
+// independent local clusters merge when their representatives share a
+// global cluster, and former local noise joins global clusters it is close
+// enough to — including clusters discovered only on other sites.
+//
+// The choice rule itself lives in RepSelector and is shared with the
+// online classifier of internal/serve: classifying a training point at
+// serving time is, by construction, identical to relabeling it here.
 //
 // The empty global model (the all-noise sentinel of GlobalStep,
 // model.GlobalModel.Empty) is handled explicitly: every object stays noise
@@ -35,47 +37,22 @@ func Relabel(pts []geom.Point, global *model.GlobalModel) (cluster.Labeling, err
 		// correct outcome, not a degraded fallback.
 		return labels, nil
 	}
-	// Representatives have individual radii; query a kd-tree over the
-	// representative points with the maximum radius, then verify each
-	// candidate's own ε_r. The representative count is small, so the tree
-	// is cheap to build and each query local.
-	repPts := make([]geom.Point, len(global.Reps))
-	var maxEps float64
-	for i, r := range global.Reps {
-		repPts[i] = r.Point
-		if r.Eps > maxEps {
-			maxEps = r.Eps
-		}
-	}
-	tree, err := index.NewKDTree(repPts, geom.Euclidean{})
+	// Representatives have individual radii; the selector queries a
+	// kd-tree over the representative points with the maximum radius, then
+	// verifies each candidate's own ε_r. The representative count is
+	// small, so the tree is cheap to build and each query local.
+	sel, err := NewRepSelector(global, index.KindKDTree)
 	if err != nil {
-		// Historically this swallowed the error and returned an all-noise
-		// labeling, making a corrupt global model indistinguishable from
-		// "no object is covered". Server-side validation normally rejects
-		// such models, but a library caller can hand Relabel anything.
-		return nil, fmt.Errorf("dbdc: relabel: indexing %d global representatives: %w",
-			len(global.Reps), err)
-	}
-	// Compare in squared space: d ≤ ε_r ∧ d < best ⟺ d² ≤ ε_r² ∧ d² < best²
-	// for non-negative values, so the nearest-covering-representative rule is
-	// unchanged while the per-candidate sqrt disappears. The candidate buffer
-	// is reused across objects.
-	e := geom.Euclidean{}
-	epsSq := make([]float64, len(global.Reps))
-	for i, r := range global.Reps {
-		epsSq[i] = r.Eps * r.Eps
+		// Historically a kd-tree build failure was swallowed and Relabel
+		// returned an all-noise labeling, making a corrupt global model
+		// indistinguishable from "no object is covered". Server-side
+		// validation normally rejects such models, but a library caller
+		// can hand Relabel anything.
+		return nil, err
 	}
 	var nbuf []int
 	for i, p := range pts {
-		best := cluster.Noise
-		bestSq := math.Inf(1)
-		nbuf = tree.RangeAppend(p, maxEps, nbuf)
-		for _, ri := range nbuf {
-			if d2 := e.DistanceSq(p, global.Reps[ri].Point); d2 <= epsSq[ri] && d2 < bestSq {
-				best, bestSq = global.Reps[ri].GlobalCluster, d2
-			}
-		}
-		labels[i] = best
+		labels[i], nbuf = sel.SelectInto(p, nbuf)
 	}
 	return labels, nil
 }

@@ -1,0 +1,147 @@
+package dbdc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// RepSelector is the deterministic representative-choice rule of Section 7
+// — "o ∈ N_{ε_r}(r) ⇒ o takes r's global cluster id, the nearest r wins" —
+// packaged as a reusable component. Relabel (step 4 of a DBDC round) and
+// the online classifier of internal/serve both go through this one type,
+// so the batch relabeling of training points and the serving-time
+// classification of arbitrary points cannot drift apart.
+//
+// The rule, spelled out:
+//
+//  1. Candidate generation: a range query over the representative points
+//     with radius max ε_r (the largest specific ε-range of the model) —
+//     every representative whose own range could cover the query point is
+//     within that radius.
+//  2. Per-candidate filter: candidate r covers o iff dist(o, r) ≤ ε_r.
+//     The comparison runs in squared space (d² ≤ ε_r²) via the
+//     geom.SquaredMetric fast path, which is exact for non-negative
+//     values.
+//  3. Choice: among the covering representatives the nearest one wins;
+//     exact distance ties break toward the lowest representative index in
+//     GlobalModel.Reps order. The tie rule makes the outcome independent
+//     of the (unspecified) range-query result order, so every index kind
+//     classifies identically.
+//  4. No covering representative ⇒ noise.
+//
+// A RepSelector is immutable after construction and safe for concurrent
+// readers, matching the underlying index contract.
+type RepSelector struct {
+	reps   []model.GlobalRepresentative
+	epsSq  []float64 // per-representative ε_r², index-aligned with reps
+	maxEps float64
+	dim    int
+	idx    index.Index
+	sq     geom.SquaredMetric
+}
+
+// NewRepSelector builds the selector for a global model over the given
+// spatial index kind (empty selects the kd-tree, the historical Relabel
+// index). The empty global model — the all-noise sentinel — yields a
+// selector that classifies everything as noise; a structurally broken
+// model (e.g. representatives of mixed dimensionality) returns an error.
+func NewRepSelector(global *model.GlobalModel, kind index.Kind) (*RepSelector, error) {
+	s := &RepSelector{}
+	if global.Empty() {
+		return s, nil
+	}
+	if kind == "" {
+		kind = index.KindKDTree
+	}
+	s.reps = global.Reps
+	s.epsSq = make([]float64, len(global.Reps))
+	repPts := make([]geom.Point, len(global.Reps))
+	for i, r := range global.Reps {
+		repPts[i] = r.Point
+		s.epsSq[i] = r.Eps * r.Eps
+		if r.Eps > s.maxEps {
+			s.maxEps = r.Eps
+		}
+	}
+	s.dim = repPts[0].Dim()
+	for i, p := range repPts {
+		if p.Dim() != s.dim {
+			// The index builders panic on mixed dimensionality (hoisted
+			// hot-path guard); validate here so library callers get an
+			// error instead.
+			return nil, fmt.Errorf("dbdc: relabel: indexing %d global representatives: representative %d has dimension %d, want %d",
+				len(global.Reps), i, p.Dim(), s.dim)
+		}
+	}
+	metric := geom.Euclidean{}
+	idx, err := index.Build(kind, repPts, metric, s.maxEps)
+	if err != nil {
+		return nil, fmt.Errorf("dbdc: relabel: indexing %d global representatives: %w",
+			len(global.Reps), err)
+	}
+	s.idx = idx
+	s.sq = metric
+	return s, nil
+}
+
+// Empty reports whether the selector was built from the all-noise sentinel
+// (every classification returns noise).
+func (s *RepSelector) Empty() bool { return s.idx == nil }
+
+// Dim returns the dimensionality of the representative points, 0 for the
+// empty selector.
+func (s *RepSelector) Dim() int { return s.dim }
+
+// NumReps returns the number of representatives behind the selector.
+func (s *RepSelector) NumReps() int { return len(s.reps) }
+
+// MaxEps returns the candidate-generation radius max ε_r.
+func (s *RepSelector) MaxEps() float64 { return s.maxEps }
+
+// SelectInto classifies one point under the representative-choice rule,
+// reusing buf for the candidate range query. It returns the global cluster
+// id (or noise) and the possibly regrown buffer. The query point must have
+// the selector's dimensionality; Select validates, SelectInto is the
+// trusted hot path.
+func (s *RepSelector) SelectInto(p geom.Point, buf []int) (cluster.ID, []int) {
+	if s.idx == nil {
+		return cluster.Noise, buf
+	}
+	buf = index.RangeInto(s.idx, p, s.maxEps, buf)
+	best := cluster.Noise
+	bestSq := math.Inf(1)
+	bestRep := math.MaxInt
+	for _, ri := range buf {
+		d2 := s.sq.DistanceSq(p, s.reps[ri].Point)
+		if d2 > s.epsSq[ri] {
+			continue // outside r's own ε_r-range
+		}
+		if d2 < bestSq || (d2 == bestSq && ri < bestRep) {
+			best, bestSq, bestRep = s.reps[ri].GlobalCluster, d2, ri
+		}
+	}
+	return best, buf
+}
+
+// Select classifies one point, validating its dimensionality first. This
+// is the entry point for untrusted (network-supplied) points: a dimension
+// mismatch is reported as an error instead of a panic in the distance
+// kernel.
+func (s *RepSelector) Select(p geom.Point) (cluster.ID, error) {
+	if s.idx == nil {
+		return cluster.Noise, nil
+	}
+	if p.Dim() != s.dim {
+		return cluster.Noise, fmt.Errorf("dbdc: classify: point has dimension %d, model has %d", p.Dim(), s.dim)
+	}
+	if !p.IsFinite() {
+		return cluster.Noise, fmt.Errorf("dbdc: classify: point has non-finite coordinates")
+	}
+	id, _ := s.SelectInto(p, nil)
+	return id, nil
+}

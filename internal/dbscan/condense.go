@@ -1,0 +1,163 @@
+package dbscan
+
+import (
+	"math"
+	"sync"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+)
+
+// condenseSpecificCores runs the condensation phase of RunParallel —
+// specific core selection (Definition 6) followed by the specific ε-ranges
+// (Definition 7) — with per-cluster parallelism. The greedy selection is a
+// strict left-to-right fold within each cluster (whether point i is kept
+// depends on the points kept before it), so it cannot be split *inside* a
+// cluster without changing the selected set; but clusters never interact
+// during condensation, which makes the cluster the natural parallel unit.
+// Workers pull whole clusters off a shared cursor and run the identical
+// ascending-index greedy per cluster, so the output — Scor order included —
+// is byte-identical to the sequential fold for any worker count.
+//
+// workers ≤ 1 keeps the sequential path (no goroutines, no merge copies).
+func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
+	metric := idx.Metric()
+	if workers <= 1 {
+		for i := range r.Core {
+			if r.Core[i] {
+				r.maybeAddSpecificCore(idx, metric, r.Labels[i], i)
+			}
+		}
+		r.computeSpecificEps(idx, metric)
+		return
+	}
+
+	// Group the core points per cluster, ascending. A single pass over the
+	// labeling preserves index order within every cluster — the exact order
+	// the sequential greedy folds in.
+	numClusters := r.Labels.NumClusters()
+	if numClusters == 0 {
+		return
+	}
+	coresByCluster := make([][]int, numClusters)
+	for i := range r.Core {
+		if r.Core[i] {
+			id := r.Labels[i]
+			coresByCluster[id] = append(coresByCluster[id], i)
+		}
+	}
+	if workers > numClusters {
+		workers = numClusters
+	}
+
+	// Per-cluster condensation into private outputs. Clusters vary wildly
+	// in size, so instead of a static split the workers pull whole clusters
+	// off a shared cursor — dynamic load balancing with one tiny critical
+	// section per cluster.
+	type condensed struct {
+		scor    []int
+		eps     []float64 // aligned with scor
+		queries int
+	}
+	out := make([]condensed, numClusters)
+	var cursor int
+	var mu sync.Mutex
+	next := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if cursor >= numClusters {
+			return -1
+		}
+		c := cursor
+		cursor++
+		return c
+	}
+
+	sq, hasSq := geom.AsSquared(metric)
+	eps2 := r.Params.Eps * r.Params.Eps
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []int
+			for {
+				c := next()
+				if c < 0 {
+					return
+				}
+				cores := coresByCluster[c]
+				// Definition 6: greedy coverage in ascending core order —
+				// keep a core point iff no already-kept one covers it.
+				var scor []int
+				for _, q := range cores {
+					qp := idx.Point(q)
+					covered := false
+					if hasSq {
+						for _, s := range scor {
+							if sq.DistanceSq(idx.Point(s), qp) <= eps2 {
+								covered = true
+								break
+							}
+						}
+					} else {
+						for _, s := range scor {
+							if metric.Distance(idx.Point(s), qp) <= r.Params.Eps {
+								covered = true
+								break
+							}
+						}
+					}
+					if !covered {
+						scor = append(scor, q)
+					}
+				}
+				// Definition 7: ε_s = Eps + max dist to core neighbors.
+				eps := make([]float64, len(scor))
+				for k, s := range scor {
+					sp := idx.Point(s)
+					buf = index.RangeInto(idx, sp, r.Params.Eps, buf)
+					var maxDist float64
+					if hasSq {
+						var maxSq float64
+						for _, ni := range buf {
+							if ni == s || !r.Core[ni] {
+								continue
+							}
+							if d2 := sq.DistanceSq(sp, idx.Point(ni)); d2 > maxSq {
+								maxSq = d2
+							}
+						}
+						maxDist = math.Sqrt(maxSq)
+					} else {
+						for _, ni := range buf {
+							if ni == s || !r.Core[ni] {
+								continue
+							}
+							if d := metric.Distance(sp, idx.Point(ni)); d > maxDist {
+								maxDist = d
+							}
+						}
+					}
+					eps[k] = r.Params.Eps + maxDist
+				}
+				out[c] = condensed{scor: scor, eps: eps, queries: len(scor)}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Sequential merge in cluster order: maps see exactly the writes the
+	// sequential fold would have made.
+	for c := range out {
+		if len(out[c].scor) == 0 {
+			continue
+		}
+		r.Scor[cluster.ID(c)] = out[c].scor
+		for k, s := range out[c].scor {
+			r.SpecificEps[s] = out[c].eps[k]
+		}
+		r.RangeQueries += out[c].queries
+	}
+}

@@ -264,14 +264,11 @@ func RunParallel(idx index.Index, params Params, opts Options) (*Result, error) 
 
 	// Phase 4 — specific core points (Definition 6) by greedy coverage in
 	// ascending core index order, then specific ε-ranges (Definition 7).
+	// Clusters condense independently, so the phase parallelises over
+	// clusters with results identical to the sequential fold; see
+	// condenseSpecificCores.
 	if opts.CollectSpecificCores {
-		metric := idx.Metric()
-		for i := 0; i < n; i++ {
-			if res.Core[i] {
-				res.maybeAddSpecificCore(idx, metric, res.Labels[i], i)
-			}
-		}
-		res.computeSpecificEps(idx, metric)
+		res.condenseSpecificCores(idx, workers)
 	}
 	return res, nil
 }

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/benchio"
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// LoadConfig parameterises one closed-loop load generation run: every
+// worker owns one persistent connection and keeps exactly one request in
+// flight (send, wait, record, repeat), so offered load adapts to what the
+// server sustains — the standard closed-loop benchmarking model.
+type LoadConfig struct {
+	// Addr is the classification front end to hit.
+	Addr string
+	// Concurrency is the number of workers (connections); 0 = GOMAXPROCS.
+	Concurrency int
+	// Duration is how long the run lasts; 0 = 5s.
+	Duration time.Duration
+	// BatchSize is the points per request: 1 sends MsgClassify frames,
+	// anything larger MsgClassifyBatch. 0 = 1.
+	BatchSize int
+	// Points is the query point pool; workers cycle through it at
+	// staggered offsets. Required, non-empty.
+	Points []geom.Point
+	// Timeout bounds dial and per-request I/O; 0 = 10s.
+	Timeout time.Duration
+}
+
+// LoadResult aggregates a load run.
+type LoadResult struct {
+	// Config echoes the effective (defaults-resolved) configuration.
+	Config LoadConfig
+	// Requests counts completed successful requests; Errors failed ones
+	// (error replies, I/O failures — each followed by a reconnect).
+	Requests uint64
+	Errors   uint64
+	// PointsClassified and NoisePoints count labelled points and the
+	// noise-labelled subset.
+	PointsClassified uint64
+	NoisePoints      uint64
+	// MinVersion and MaxVersion bracket the model versions observed in
+	// replies — under a hot-swapping server the range documents how many
+	// swaps the run straddled.
+	MinVersion uint64
+	MaxVersion uint64
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+	// Latency is the client-observed request latency histogram.
+	Latency *Histogram
+}
+
+// QPS returns completed requests per wall-clock second.
+func (r *LoadResult) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// PointsPerSec returns classified points per wall-clock second.
+func (r *LoadResult) PointsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.PointsClassified) / r.Elapsed.Seconds()
+}
+
+// String renders a human-readable run summary.
+func (r *LoadResult) String() string {
+	return fmt.Sprintf(
+		"loadgen: conc=%d batch=%d dur=%s: %d requests (%.0f req/s, %.0f points/s), %d errors, "+
+			"p50=%s p95=%s p99=%s, noise %.1f%%, model versions %d..%d",
+		r.Config.Concurrency, r.Config.BatchSize, r.Elapsed.Round(time.Millisecond),
+		r.Requests, r.QPS(), r.PointsPerSec(), r.Errors,
+		r.Latency.Quantile(0.5).Round(time.Microsecond),
+		r.Latency.Quantile(0.95).Round(time.Microsecond),
+		r.Latency.Quantile(0.99).Round(time.Microsecond),
+		100*float64(r.NoisePoints)/float64(max(r.PointsClassified, 1)),
+		r.MinVersion, r.MaxVersion)
+}
+
+// BenchReport converts the run into the benchio JSON schema, so serving
+// throughput joins the BENCH_<rev>.json trajectory and cmd/benchdiff can
+// flag regressions. The entry name mirrors the sub-benchmark convention of
+// the in-process suite; NsPerOp is the mean request latency.
+func (r *LoadResult) BenchReport(rev string) *benchio.Report {
+	name := fmt.Sprintf("LoadgenClassify/conc=%d/batch=%d", r.Config.Concurrency, r.Config.BatchSize)
+	entry := benchio.Entry{
+		Name:        name,
+		Iterations:  int64(r.Requests),
+		NsPerOp:     float64(r.Latency.Mean().Nanoseconds()),
+		BytesPerOp:  -1,
+		AllocsPerOp: -1,
+		Metrics: map[string]float64{
+			"qps":       r.QPS(),
+			"points/s":  r.PointsPerSec(),
+			"p50-ms":    float64(r.Latency.Quantile(0.5)) / float64(time.Millisecond),
+			"p95-ms":    float64(r.Latency.Quantile(0.95)) / float64(time.Millisecond),
+			"p99-ms":    float64(r.Latency.Quantile(0.99)) / float64(time.Millisecond),
+			"errors":    float64(r.Errors),
+			"noise-pct": 100 * float64(r.NoisePoints) / float64(max(r.PointsClassified, 1)),
+		},
+	}
+	return &benchio.Report{
+		Rev:        rev,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Entries:    []benchio.Entry{entry},
+	}
+}
+
+// RunLoad executes one closed-loop run against cfg.Addr. Workers dial
+// their own connections, cycle through the point pool at staggered
+// offsets and keep one request in flight each until the duration elapses.
+// A failed request costs the worker a reconnect (counted as one error);
+// the run only fails outright when not a single request succeeded.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("serve: loadgen needs an address")
+	}
+	if len(cfg.Points) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs a non-empty query point pool")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+
+	res := &LoadResult{Config: cfg, Latency: NewHistogram()}
+	var requests, errs, points, noise atomic.Uint64
+	var minVer, maxVer atomic.Uint64
+	minVer.Store(^uint64(0))
+
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Stagger the pool offset so workers do not hammer identical
+			// batches in lockstep.
+			offset := (worker * len(cfg.Points)) / cfg.Concurrency
+			batch := make([]geom.Point, cfg.BatchSize)
+			var client *Client
+			defer func() {
+				if client != nil {
+					client.Close()
+				}
+			}()
+			for time.Now().Before(deadline) {
+				if client == nil {
+					c, err := Dial(cfg.Addr, cfg.Timeout)
+					if err != nil {
+						errs.Add(1)
+						time.Sleep(10 * time.Millisecond) // closed loop: back off on dial failure
+						continue
+					}
+					client = c
+				}
+				for i := range batch {
+					batch[i] = cfg.Points[offset%len(cfg.Points)]
+					offset++
+				}
+				reqStart := time.Now()
+				var labels []cluster.ID
+				var version uint64
+				var err error
+				if cfg.BatchSize == 1 {
+					var l cluster.ID
+					l, version, err = client.Classify(batch[0])
+					labels = append(labels[:0], l)
+				} else {
+					labels, version, err = client.ClassifyBatch(batch)
+				}
+				if err != nil {
+					errs.Add(1)
+					client.Close()
+					client = nil
+					continue
+				}
+				res.Latency.Observe(time.Since(reqStart))
+				requests.Add(1)
+				points.Add(uint64(len(labels)))
+				n := 0
+				for _, l := range labels {
+					if l == cluster.Noise {
+						n++
+					}
+				}
+				noise.Add(uint64(n))
+				for {
+					cur := minVer.Load()
+					if version >= cur || minVer.CompareAndSwap(cur, version) {
+						break
+					}
+				}
+				for {
+					cur := maxVer.Load()
+					if version <= cur || maxVer.CompareAndSwap(cur, version) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Requests = requests.Load()
+	res.Errors = errs.Load()
+	res.PointsClassified = points.Load()
+	res.NoisePoints = noise.Load()
+	if res.Requests > 0 {
+		res.MinVersion = minVer.Load()
+		res.MaxVersion = maxVer.Load()
+	}
+	if res.Requests == 0 {
+		return res, fmt.Errorf("serve: loadgen completed no request in %s (%d errors)", res.Elapsed.Round(time.Millisecond), res.Errors)
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// TestLoadgenSmoke is the in-process twin of the CI loadgen-smoke step:
+// boot a server, run a short closed-loop load against it for both request
+// shapes, and check the result and its benchio report are coherent.
+func TestLoadgenSmoke(t *testing.T) {
+	srv, reg, m := startTestServer(t, 0)
+	pts, global := buildTestModel(t, model.RepScor, 42)
+	if _, err := reg.Publish(global); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 16} {
+		res, err := RunLoad(LoadConfig{
+			Addr:        srv.Addr(),
+			Concurrency: 4,
+			Duration:    300 * time.Millisecond,
+			BatchSize:   batch,
+			Points:      pts,
+			Timeout:     5 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: RunLoad: %v", batch, err)
+		}
+		if res.Requests == 0 || res.PointsClassified < res.Requests*uint64(batch) {
+			t.Fatalf("batch=%d: requests=%d points=%d", batch, res.Requests, res.PointsClassified)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("batch=%d: %d errors against a healthy server", batch, res.Errors)
+		}
+		if res.MinVersion != 1 || res.MaxVersion != 1 {
+			t.Fatalf("batch=%d: versions %d..%d, want 1..1", batch, res.MinVersion, res.MaxVersion)
+		}
+		if res.Latency.Count() != res.Requests {
+			t.Fatalf("batch=%d: %d latency samples for %d requests", batch, res.Latency.Count(), res.Requests)
+		}
+		if res.QPS() <= 0 || res.PointsPerSec() <= 0 {
+			t.Fatalf("batch=%d: non-positive rates: %s", batch, res)
+		}
+		if s := res.String(); !strings.Contains(s, "loadgen:") || !strings.Contains(s, "p99=") {
+			t.Fatalf("batch=%d: summary %q", batch, s)
+		}
+
+		// The benchio report must round-trip through JSON with the schema
+		// fields cmd/benchdiff consumes.
+		rep := res.BenchReport("test-rev")
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("batch=%d: marshal report: %v", batch, err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("batch=%d: report is not valid JSON: %v", batch, err)
+		}
+		if len(rep.Entries) != 1 {
+			t.Fatalf("batch=%d: report carries %d entries", batch, len(rep.Entries))
+		}
+		e := rep.Entries[0]
+		if !strings.HasPrefix(e.Name, "LoadgenClassify/") {
+			t.Fatalf("batch=%d: entry name %q", batch, e.Name)
+		}
+		if e.Iterations != int64(res.Requests) || e.NsPerOp <= 0 {
+			t.Fatalf("batch=%d: iterations=%d ns/op=%g", batch, e.Iterations, e.NsPerOp)
+		}
+		for _, k := range []string{"qps", "points/s", "p50-ms", "p95-ms", "p99-ms"} {
+			if _, ok := e.Metrics[k]; !ok {
+				t.Fatalf("batch=%d: metric %q missing from report", batch, k)
+			}
+		}
+		if e.Metrics["qps"] <= 0 || e.Metrics["p99-ms"] < e.Metrics["p50-ms"] {
+			t.Fatalf("batch=%d: incoherent metrics %v", batch, e.Metrics)
+		}
+	}
+	// The server-side counters saw the load too.
+	if m.Requests.Load() == 0 || m.Points.Load() == 0 {
+		t.Fatalf("server metrics untouched: requests=%d points=%d", m.Requests.Load(), m.Points.Load())
+	}
+}
+
+// TestLoadgenValidation: bad configs fail fast, an unreachable server
+// fails with zero successes instead of hanging.
+func TestLoadgenValidation(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunLoad(LoadConfig{Addr: "127.0.0.1:1"}); err == nil {
+		t.Error("config without points accepted")
+	}
+	res, err := RunLoad(LoadConfig{
+		Addr:        "127.0.0.1:1", // reserved port: connection refused
+		Concurrency: 1,
+		Duration:    50 * time.Millisecond,
+		Points:      []geom.Point{{0, 0}},
+		Timeout:     time.Second,
+	})
+	if err == nil {
+		t.Errorf("unreachable server produced a successful run: %+v", res)
+	}
+}

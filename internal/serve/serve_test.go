@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/dbdc"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+func makeLabels(n int) []cluster.ID { return make([]cluster.ID, n) }
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }
+
+// buildTestModel runs a full two-site DBDC round in-process and returns
+// the training points together with the resulting global model — the
+// exact artifact a production server would publish into the registry.
+func buildTestModel(t testing.TB, kind model.Kind, seed int64) ([]geom.Point, *model.GlobalModel) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pts []geom.Point
+	pts = append(pts, data.Blob(rng, geom.Point{0, 0}, 0.3, 140)...)
+	pts = append(pts, data.Blob(rng, geom.Point{5, 5}, 0.4, 140)...)
+	pts = append(pts, data.Ring(rng, -4, 4, 2, 0.1, 140)...)
+	pts = append(pts, data.Uniform(rng, geom.NewRect(geom.Point{-8, -8}, geom.Point{8, 8}), 60)...)
+	cfg := dbdc.Config{
+		Local: dbscan.Params{Eps: 0.5, MinPts: 5},
+		Model: kind,
+		Index: index.KindKDTree,
+	}
+	half := len(pts) / 2
+	o1, err := dbdc.LocalStep("site-1", pts[:half], cfg)
+	if err != nil {
+		t.Fatalf("LocalStep site-1: %v", err)
+	}
+	o2, err := dbdc.LocalStep("site-2", pts[half:], cfg)
+	if err != nil {
+		t.Fatalf("LocalStep site-2: %v", err)
+	}
+	global, err := dbdc.GlobalStep([]*model.LocalModel{o1.Model, o2.Model}, cfg)
+	if err != nil {
+		t.Fatalf("GlobalStep: %v", err)
+	}
+	if global.Empty() {
+		t.Fatal("test model is the empty sentinel; pick denser parameters")
+	}
+	return pts, global
+}
+
+// TestClassifierDifferential is the drift guard of the shared
+// representative-choice rule: classifying the training points online must
+// be label-identical to dbdc.Relabel, for both local model kinds and every
+// index kind the classifier can bulk-load the representatives into.
+func TestClassifierDifferential(t *testing.T) {
+	for _, kind := range model.Kinds() {
+		pts, global := buildTestModel(t, kind, 42)
+		want, err := dbdc.Relabel(pts, global)
+		if err != nil {
+			t.Fatalf("%s: Relabel: %v", kind, err)
+		}
+		for _, ik := range index.Kinds() {
+			cls, err := NewClassifier(global, ik)
+			if err != nil {
+				t.Fatalf("%s/%s: NewClassifier: %v", kind, ik, err)
+			}
+			// Batch path.
+			out := makeLabels(len(pts))
+			if err := cls.ClassifyBatch(pts, out); err != nil {
+				t.Fatalf("%s/%s: ClassifyBatch: %v", kind, ik, err)
+			}
+			for i := range pts {
+				if out[i] != want[i] {
+					t.Fatalf("%s/%s: point %d: online label %v != relabel %v",
+						kind, ik, i, out[i], want[i])
+				}
+			}
+			// Single-point path must agree with the batch path.
+			for _, i := range []int{0, len(pts) / 3, len(pts) - 1} {
+				id, err := cls.Classify(pts[i])
+				if err != nil {
+					t.Fatalf("%s/%s: Classify(%d): %v", kind, ik, i, err)
+				}
+				if id != want[i] {
+					t.Fatalf("%s/%s: point %d: Classify %v != relabel %v", kind, ik, i, id, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestClassifierEmptySentinel: the all-noise sentinel classifies
+// everything as noise, at any dimensionality, without errors.
+func TestClassifierEmptySentinel(t *testing.T) {
+	cls, err := NewClassifier(&model.GlobalModel{MinPtsGlobal: 2}, index.KindGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geom.Point{{0}, {1, 2}, {1, 2, 3}} {
+		id, err := cls.Classify(p)
+		if err != nil {
+			t.Fatalf("sentinel Classify(%v): %v", p, err)
+		}
+		if !id.IsNoise() {
+			t.Fatalf("sentinel labelled %v as %v", p, id)
+		}
+	}
+}
+
+// TestClassifierRejectsBadPoints: network input never reaches the
+// distance kernels — wrong dimensionality, NaN coordinates and empty
+// points fail loudly, and a bad point fails its whole batch atomically.
+func TestClassifierRejectsBadPoints(t *testing.T) {
+	_, global := buildTestModel(t, model.RepScor, 42)
+	cls, err := NewClassifier(global, index.KindKDTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []geom.Point{
+		{1, 2, 3},  // wrong dimension
+		{},         // no coordinates
+		{nan(), 0}, // NaN
+		{0, inf()}, // Inf
+	}
+	for _, p := range bad {
+		if _, err := cls.Classify(p); err == nil {
+			t.Errorf("Classify accepted bad point %v", p)
+		}
+	}
+	// All-or-nothing batch: one bad point rejects the batch.
+	batch := []geom.Point{{0, 0}, {1, 2, 3}}
+	if err := cls.ClassifyBatch(batch, makeLabels(2)); err == nil {
+		t.Error("ClassifyBatch accepted a batch with a wrong-dimension point")
+	}
+	if err := cls.ClassifyBatch(batch[:1], makeLabels(2)); err == nil {
+		t.Error("ClassifyBatch accepted mismatched output length")
+	}
+}

@@ -40,6 +40,22 @@ const (
 	// to the plain MsgLocalModel encoding (version negotiation by
 	// fallback; see Client.SendModelTimed).
 	MsgLocalModelTimed byte = 0x08
+
+	// Classification protocol (the read side served by internal/serve):
+	// requests classify arbitrary points against the currently published
+	// global model. The payload of both request types is an EncodePoints
+	// point list; MsgClassify must carry exactly one point,
+	// MsgClassifyBatch any number up to the server's batch cap.
+	// Connections are persistent: a client may issue many requests on one
+	// connection, each answered by exactly one MsgClassifyReply (or
+	// MsgError, after which the server closes).
+	MsgClassify byte = 0x20
+	// MsgClassifyBatch carries an EncodePoints list of query points.
+	MsgClassifyBatch byte = 0x21
+	// MsgClassifyReply answers either request: u64 model version, u32
+	// label count, then count little-endian int32 global cluster ids
+	// (−1 = noise), positionally aligned with the request points.
+	MsgClassifyReply byte = 0x22
 )
 
 // FrameVersion is the wire protocol version. Version 2 added the version

@@ -115,10 +115,13 @@ func (s *SiteQueryServer) handleQuery(conn net.Conn) {
 		}
 	}
 	s.mu.RUnlock()
-	WriteFrame(conn, MsgClusterReply, encodePoints(members))
+	WriteFrame(conn, MsgClusterReply, EncodePoints(members))
 }
 
-func encodePoints(pts []geom.Point) []byte {
+// EncodePoints serialises a point list into the shared wire layout used by
+// MsgClusterReply and the classification requests: u32 count, u32 dim,
+// then count·dim little-endian float64 coordinates.
+func EncodePoints(pts []geom.Point) []byte {
 	dim := 0
 	if len(pts) > 0 {
 		dim = pts[0].Dim()
@@ -136,7 +139,10 @@ func encodePoints(pts []geom.Point) []byte {
 	return buf
 }
 
-func decodePoints(buf []byte) ([]geom.Point, error) {
+// DecodePoints is the inverse of EncodePoints with hostile-input bounds
+// checks: implausible headers are rejected before any allocation sized by
+// them.
+func DecodePoints(buf []byte) ([]geom.Point, error) {
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("transport: truncated point list")
 	}
@@ -190,7 +196,7 @@ func QueryCluster(addr string, id cluster.ID, timeout time.Duration) ([]geom.Poi
 	}
 	switch msgType {
 	case MsgClusterReply:
-		return decodePoints(reply)
+		return DecodePoints(reply)
 	case MsgError:
 		return nil, fmt.Errorf("transport: site reported: %s", reply)
 	default:

@@ -136,21 +136,21 @@ func TestQueryServerRejectsWrongMessage(t *testing.T) {
 
 func TestPointCodecRoundTrip(t *testing.T) {
 	pts := []geom.Point{{1.5, -2}, {0, 3}}
-	got, err := decodePoints(encodePoints(pts))
+	got, err := DecodePoints(EncodePoints(pts))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || !got[0].Equal(pts[0]) || !got[1].Equal(pts[1]) {
 		t.Fatalf("round trip = %v", got)
 	}
-	if got, err := decodePoints(encodePoints(nil)); err != nil || len(got) != 0 {
+	if got, err := DecodePoints(EncodePoints(nil)); err != nil || len(got) != 0 {
 		t.Fatalf("empty round trip = %v, %v", got, err)
 	}
-	if _, err := decodePoints([]byte{1, 2}); err == nil {
+	if _, err := DecodePoints([]byte{1, 2}); err == nil {
 		t.Fatal("truncated header accepted")
 	}
-	buf := encodePoints(pts)
-	if _, err := decodePoints(buf[:len(buf)-3]); err == nil {
+	buf := EncodePoints(pts)
+	if _, err := DecodePoints(buf[:len(buf)-3]); err == nil {
 		t.Fatal("truncated body accepted")
 	}
 }

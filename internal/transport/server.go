@@ -29,7 +29,20 @@ type Server struct {
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+
+	// onGlobal, when set, receives every freshly computed global model
+	// (see SetOnGlobal).
+	onGlobal func(*model.GlobalModel)
 }
+
+// SetOnGlobal registers a sink that receives every global model a round
+// computes, immediately after the global step succeeds and before the
+// broadcast to the sites. This is how commands feed the serving-side model
+// registry (internal/serve.Registry.PublishFunc) without the transport
+// layer depending on it. The callback runs synchronously on the round
+// goroutine — keep it fast. Not safe to call concurrently with a running
+// round; set it once, right after NewServer.
+func (s *Server) SetOnGlobal(fn func(*model.GlobalModel)) { s.onGlobal = fn }
 
 // NewServer listens on addr (e.g. "127.0.0.1:0") for rounds of expect
 // sites. timeout bounds each connection's I/O and the default accept
@@ -476,6 +489,11 @@ func (s *Server) RunRoundOpts(opts RoundOptions) (*model.GlobalModel, *RoundRepo
 		closeGood(err.Error())
 		report.Duration = time.Since(start)
 		return nil, report, err
+	}
+	if s.onGlobal != nil {
+		// Publish before the broadcast: classification readers switch to
+		// the new model no later than the sites that trained it.
+		s.onGlobal(global)
 	}
 	broadcastStart := time.Now()
 	payload, err := global.MarshalBinary()

@@ -31,7 +31,18 @@ type UpdateServer struct {
 	mu     sync.Mutex
 	models map[string]*model.LocalModel
 	global *model.GlobalModel
+
+	// onGlobal, when set, receives every rebuilt global model (see
+	// SetOnGlobal).
+	onGlobal func(*model.GlobalModel)
 }
+
+// SetOnGlobal registers a sink that receives every rebuilt global model,
+// invoked under the store lock so sinks observe the rebuilds in exactly
+// the order they happened (a model registry fed from here is therefore
+// monotonically versioned). Keep the callback fast — it serializes with
+// concurrent updates. Set it once, before Serve.
+func (s *UpdateServer) SetOnGlobal(fn func(*model.GlobalModel)) { s.onGlobal = fn }
 
 // BytesIn returns the total frame bytes received from sites.
 func (s *UpdateServer) BytesIn() int64 { return s.bytesIn.Load() }
@@ -178,5 +189,10 @@ func (s *UpdateServer) storeAndRebuild(m *model.LocalModel) (*model.GlobalModel,
 		return nil, err
 	}
 	s.global = global
+	if s.onGlobal != nil {
+		// Under s.mu: sinks see rebuilds in rebuild order, which keeps a
+		// registry fed from here strictly monotone.
+		s.onGlobal(global)
+	}
 	return global, nil
 }

@@ -4,11 +4,13 @@ import (
 	"math/rand"
 	"net"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/dbdc-go/dbdc/internal/dbdc"
 	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
 )
 
 func TestUpdateServerValidation(t *testing.T) {
@@ -167,5 +169,91 @@ func TestUpdateServerConcurrentSites(t *testing.T) {
 	}
 	if got := len(srv.Sites()); got != n {
 		t.Fatalf("retained sites = %d", got)
+	}
+}
+
+// TestUpdateServerNewestModelWinsConcurrent races several sites, each
+// uploading a growing sequence of model epochs, against each other (run
+// under -race in CI). Per site the uploads are ordered — exactly the
+// deployment contract, a site never races itself — so whatever the
+// cross-site interleaving, the server must retain every site's newest
+// model, and the final global model must reflect exactly those. The
+// SetOnGlobal sink, invoked under the store lock, must observe one rebuild
+// per processed upload with the final observation identical to Global().
+func TestUpdateServerNewestModelWinsConcurrent(t *testing.T) {
+	const sites = 4
+	const epochs = 3
+	srv, err := NewUpdateServer("127.0.0.1:0", testCfg(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var sinkMu sync.Mutex
+	var observed []*model.GlobalModel
+	srv.SetOnGlobal(func(g *model.GlobalModel) {
+		sinkMu.Lock()
+		observed = append(observed, g)
+		sinkMu.Unlock()
+	})
+	go srv.Serve(sites * epochs)
+
+	errs := make(chan error, sites)
+	for s := 0; s < sites; s++ {
+		go func(site int) {
+			rng := rand.New(rand.NewSource(int64(100 + site)))
+			id := string(rune('a' + site))
+			var pts []geom.Point
+			for e := 0; e < epochs; e++ {
+				// Epoch e adds a new well-separated blob: the site's newest
+				// model has e+1 clusters, disjoint from every other site's.
+				pts = append(pts, blob(rng, float64(site*1000+e*100), 0, 150)...)
+				out, err := dbdc.LocalStep(id, pts, testCfg())
+				if err == nil {
+					_, _, _, err = Exchange(srv.Addr(), out.Model, 10*time.Second)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(s)
+	}
+	for s := 0; s < sites; s++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Newest model wins per site: the final global clustering is built from
+	// every site's last upload — sites × epochs disjoint clusters.
+	final := srv.Global()
+	if final == nil || final.NumClusters != sites*epochs {
+		t.Fatalf("final global model has %d clusters, want %d (a stale model survived)",
+			final.NumClusters, sites*epochs)
+	}
+	if got := len(srv.Sites()); got != sites {
+		t.Fatalf("retained %d site models, want %d", got, sites)
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if len(observed) != sites*epochs {
+		t.Fatalf("sink observed %d rebuilds, want %d", len(observed), sites*epochs)
+	}
+	if observed[len(observed)-1] != final {
+		t.Fatal("sink's last observation is not the retained global model: rebuild order leaked")
+	}
+	// Rebuild inputs only ever grow sites, never lose them: cluster counts
+	// along the observation order never drop below a previous count from
+	// the same site set — cheap necessary condition we can check globally:
+	// the last observation must carry the maximum cluster count.
+	for i, g := range observed {
+		if g == nil {
+			t.Fatalf("observation %d is nil", i)
+		}
+		if g.NumClusters > final.NumClusters {
+			t.Fatalf("observation %d has %d clusters, more than the final %d", i, g.NumClusters, final.NumClusters)
+		}
 	}
 }
