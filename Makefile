@@ -32,6 +32,7 @@ fuzz-smoke:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzLocalModelUnmarshal -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzGlobalModelUnmarshal -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/geom/ -run '^$$' -fuzz FuzzStoreDistanceSq -fuzztime $(FUZZTIME)
 
 # Full benchmark sweep: one benchmark per paper figure/table plus the
 # ablations. Expect several minutes (Figure 8 runs a 203,000-point study).
@@ -39,8 +40,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-path benchmark sweep recorded as a committed artifact: runs the
-# BenchmarkLocalClustering suite (naive-vs-fast kernels, worker scaling) and
-# converts the output into BENCH_<shortrev>.json via cmd/benchjson. The raw
+# BenchmarkLocalClustering suite (naive-vs-fast kernels, flat-store bulk
+# loads, worker scaling) plus BenchmarkStoreKernels (strided vs slice
+# distance kernels, allocation-free range loops) and converts the output
+# into BENCH_<shortrev>.json via cmd/benchjson. The raw
 # text passes through to stdout unchanged, so the same pipeline feeds
 # benchstat:
 #
@@ -50,13 +53,13 @@ bench:
 # See docs/performance.md for how to read the JSON.
 BENCHFLAGS ?=
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchmem $(BENCHFLAGS) . \
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels' -benchmem $(BENCHFLAGS) . \
 		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD)
 
 # One-iteration smoke over the hot-path suite: catches benchmarks that no
 # longer compile or crash, without paying measurement time. CI runs this.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels' -benchtime 1x -benchmem .
 
 # Run the hot-path suite and diff it against the committed baseline artifact
 # with cmd/benchdiff. BASELINE defaults to the newest committed BENCH_*.json;
@@ -67,7 +70,7 @@ BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 DIFFFLAGS ?=
 benchdiff:
 	@test -n "$(BASELINE)" || { echo "benchdiff: no committed BENCH_*.json baseline"; exit 1; }
-	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering' -benchmem $(BENCHFLAGS) . \
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels' -benchmem $(BENCHFLAGS) . \
 		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD) -out /tmp/dbdc-bench-new.json >/dev/null
 	$(GO) run ./cmd/benchdiff $(DIFFFLAGS) $(BASELINE) /tmp/dbdc-bench-new.json
 

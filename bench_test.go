@@ -388,6 +388,90 @@ func BenchmarkRelabel(b *testing.B) {
 	}
 }
 
+// benchSink defeats dead-code elimination in the kernel microbenches.
+var benchSink float64
+
+// BenchmarkStoreKernels measures the flat-store hot paths against their
+// slice counterparts: the strided squared-distance kernels, and the
+// store-backed range-query scan that must run allocation-free (allocs/op =
+// 0 in the range loop — also pinned hard by the zero-alloc regression test
+// in internal/index; here the number lands in BENCH_*.json so cmd/benchdiff
+// tracks it across revisions).
+func BenchmarkStoreKernels(b *testing.B) {
+	ds := data.DatasetA(20_000, 1)
+	st := ds.Store
+	n := st.Len()
+	e := geom.Euclidean{}
+
+	b.Run("distsq/slice", func(b *testing.B) {
+		pts := ds.Points
+		var sink float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += e.DistanceSq(pts[i%n], pts[(i*7+1)%n])
+		}
+		benchSink = sink
+	})
+	b.Run("distsq/store", func(b *testing.B) {
+		var sink float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += st.DistanceSq(i%n, (i*7+1)%n)
+		}
+		benchSink = sink
+	})
+	b.Run("distsq-to/slice", func(b *testing.B) {
+		pts := ds.Points
+		q := geom.Point{50, 50}
+		var sink float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += e.DistanceSq(q, pts[i%n])
+		}
+		benchSink = sink
+	})
+	b.Run("distsq-to/store", func(b *testing.B) {
+		q := geom.Point{50, 50}
+		var sink float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += st.DistanceSqTo(i%n, q)
+		}
+		benchSink = sink
+	})
+
+	// Range queries through the reusable-buffer seam, slice-built versus
+	// store-built index. The loops reuse one buffer; after warm-up both
+	// must report allocs/op = 0, and the store path additionally runs on
+	// the strided verification kernels.
+	for _, kind := range []index.Kind{index.KindGrid, index.KindKDTree} {
+		b.Run(fmt.Sprintf("range/slice/%s", kind), func(b *testing.B) {
+			idx, err := index.Build(kind, ds.Points, e, ds.Params.Eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]int, 0, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = index.RangeInto(idx, ds.Points[i%n], ds.Params.Eps, buf)
+			}
+		})
+		b.Run(fmt.Sprintf("range/store/%s", kind), func(b *testing.B) {
+			idx, err := index.BuildStore(kind, st, e, ds.Params.Eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]int, 0, 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = index.RangeIntoID(idx, i%n, ds.Params.Eps, buf)
+			}
+		})
+	}
+}
+
 // plainMetric wraps a metric and deliberately hides its DistanceSq fast
 // path, forcing every index through the generic sqrt-per-comparison code.
 // It is the "naive" baseline of BenchmarkLocalClustering: the measured gap
@@ -440,6 +524,15 @@ func BenchmarkLocalClustering(b *testing.B) {
 	// measure patience, not kernels (internal/index has per-query benches
 	// covering it).
 	for _, kind := range []index.Kind{index.KindGrid, index.KindKDTree, index.KindRStar} {
+		b.Run(fmt.Sprintf("store/%s", kind), func(b *testing.B) {
+			// Flat-store bulk load: the index keeps the stride-2 backing
+			// array and verifies candidates with the strided kernels.
+			idx, err := index.BuildStore(kind, ds.Store, geom.Euclidean{}, ds.Params.Eps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runOnce(b, idx, opts)
+		})
 		b.Run(fmt.Sprintf("naive/%s", kind), func(b *testing.B) {
 			if kind == index.KindRStar {
 				b.Skip("rstar is Euclidean-only; its fast path cannot be disabled via the metric")

@@ -1,16 +1,22 @@
 // Command dbdc-loadgen drives a classification front end (dbdc-server or
-// dbdc-site with -serve-classify) with closed-loop load and reports
-// throughput and latency percentiles.
+// dbdc-site with -serve-classify) with closed- or open-loop load and
+// reports throughput and latency percentiles.
 //
 // Usage:
 //
 //	dbdc-loadgen -addr 127.0.0.1:7072 [-conc 8] [-duration 10s] [-batch 16] \
-//	    [-dataset a|b|c] [-n 8700] [-seed 1] [-input points.csv] \
+//	    [-rate 5000] [-dataset a|b|c] [-n 8700] [-seed 1] [-input points.csv] \
 //	    [-report-json out.json] [-rev $(git rev-parse --short HEAD)]
 //
-// Each worker owns one persistent connection and keeps exactly one request
-// in flight (send, wait, record, repeat), so the offered load adapts to
-// what the server sustains — the standard closed-loop benchmarking model.
+// By default each worker owns one persistent connection and keeps exactly
+// one request in flight (send, wait, record, repeat), so the offered load
+// adapts to what the server sustains — the standard closed-loop
+// benchmarking model. With -rate N the generator switches to an open loop:
+// Poisson arrivals at the target aggregate rate regardless of server speed,
+// with latency measured from the scheduled arrival so queueing delay under
+// overload shows up in the tail percentiles (no coordinated omission). The
+// summary then also reports achieved vs target rate, the maximum queue
+// depth, and any shed arrivals.
 // The query pool is either a CSV of points (-input) or a generated paper
 // dataset (-dataset/-n/-seed, matching cmd/datagen). With -report-json the
 // run is written in the internal/benchio schema, so serving throughput
@@ -35,6 +41,7 @@ func main() {
 	conc := flag.Int("conc", 0, "concurrent workers (connections); 0 = GOMAXPROCS")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	batch := flag.Int("batch", 1, "points per request (1 = MsgClassify, >1 = MsgClassifyBatch)")
+	rate := flag.Float64("rate", 0, "open-loop mode: target aggregate request rate per second with Poisson arrivals (0 = closed loop)")
 	dataset := flag.String("dataset", "a", "query pool generator: a, b or c (paper test data sets)")
 	n := flag.Int("n", data.DatasetASize, "query pool cardinality (dataset a only)")
 	seed := flag.Int64("seed", 1, "query pool generator seed")
@@ -56,6 +63,8 @@ func main() {
 		BatchSize:   *batch,
 		Points:      pts,
 		Timeout:     *timeout,
+		Rate:        *rate,
+		Seed:        *seed,
 	})
 	if err != nil {
 		fatal(err)

@@ -11,7 +11,12 @@ import (
 // Dataset couples a generated point set with the DBSCAN parameters suited
 // to its density, the values every experiment of Section 9 needs.
 type Dataset struct {
-	Name   string
+	Name string
+	// Store holds the generated points in one flat stride-2 backing array —
+	// the layout the store-backed indexes build from without copying.
+	Store *geom.Store
+	// Points are zero-copy views into Store (Store.Views()), kept for every
+	// slice-shaped consumer: Points[i] aliases Store.Point(i).
 	Points []geom.Point
 	// Params are the Eps_local / MinPts settings used for both the central
 	// reference clustering and the site-local clusterings.
@@ -52,21 +57,22 @@ func DatasetA(n int, seed int64) Dataset {
 		centers[i] = geom.Point{5 + rng.Float64()*(domain-10), 5 + rng.Float64()*(domain-10)}
 	}
 	clustered := n * 95 / 100
-	pts := make([]geom.Point, 0, n)
+	st := geom.NewStore(2, n)
 	truth := make(cluster.Labeling, 0, n)
 	for i := 0; i < clustered; i++ {
 		c := centers[i%numClusters]
-		pts = append(pts, geom.Point{c[0] + rng.NormFloat64()*2, c[1] + rng.NormFloat64()*2})
+		st.AppendCoords(c[0]+rng.NormFloat64()*2, c[1]+rng.NormFloat64()*2)
 		truth = append(truth, cluster.ID(i%numClusters))
 	}
-	pts = append(pts, Uniform(rng,
-		geom.NewRect(geom.Point{0, 0}, geom.Point{domain, domain}), n-clustered)...)
-	for len(truth) < len(pts) {
+	AppendUniform(st, rng,
+		geom.NewRect(geom.Point{0, 0}, geom.Point{domain, domain}), n-clustered)
+	for len(truth) < st.Len() {
 		truth = append(truth, cluster.Noise)
 	}
 	return Dataset{
 		Name:   "A",
-		Points: pts,
+		Store:  st,
+		Points: st.Views(),
 		Params: dbscan.Params{Eps: 1.2, MinPts: 4},
 		Truth:  truth,
 	}
@@ -85,21 +91,22 @@ func DatasetB(seed int64) Dataset {
 	noise := n * 40 / 100
 	clustered := n - noise
 	centers := []geom.Point{{12, 12}, {45, 15}, {30, 45}, {12, 48}, {50, 50}}
-	pts := make([]geom.Point, 0, n)
+	st := geom.NewStore(2, n)
 	truth := make(cluster.Labeling, 0, n)
 	for i := 0; i < clustered; i++ {
 		c := centers[i%len(centers)]
-		pts = append(pts, geom.Point{c[0] + rng.NormFloat64()*1.8, c[1] + rng.NormFloat64()*1.8})
+		st.AppendCoords(c[0]+rng.NormFloat64()*1.8, c[1]+rng.NormFloat64()*1.8)
 		truth = append(truth, cluster.ID(i%len(centers)))
 	}
-	pts = append(pts, Uniform(rng,
-		geom.NewRect(geom.Point{0, 0}, geom.Point{domain, domain}), noise)...)
-	for len(truth) < len(pts) {
+	AppendUniform(st, rng,
+		geom.NewRect(geom.Point{0, 0}, geom.Point{domain, domain}), noise)
+	for len(truth) < st.Len() {
 		truth = append(truth, cluster.Noise)
 	}
 	return Dataset{
 		Name:   "B",
-		Points: pts,
+		Store:  st,
+		Points: st.Views(),
 		Params: dbscan.Params{Eps: 1.0, MinPts: 8},
 		Truth:  truth,
 	}
@@ -116,10 +123,10 @@ const DatasetCSize = 1021
 // cluster it encloses). No background noise.
 func DatasetC(seed int64) Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	pts := make([]geom.Point, 0, DatasetCSize)
-	pts = append(pts, Blob(rng, geom.Point{10, 10}, 1.2, 340)...)
-	pts = append(pts, Blob(rng, geom.Point{32, 28}, 0.6, 340)...)
-	pts = append(pts, Ring(rng, 32, 28, 5, 0.25, DatasetCSize-680)...)
+	st := geom.NewStore(2, DatasetCSize)
+	AppendBlob(st, rng, geom.Point{10, 10}, 1.2, 340)
+	AppendBlob(st, rng, geom.Point{32, 28}, 0.6, 340)
+	AppendRing(st, rng, 32, 28, 5, 0.25, DatasetCSize-680)
 	truth := make(cluster.Labeling, DatasetCSize)
 	for i := range truth {
 		switch {
@@ -133,7 +140,8 @@ func DatasetC(seed int64) Dataset {
 	}
 	return Dataset{
 		Name:   "C",
-		Points: pts,
+		Store:  st,
+		Points: st.Views(),
 		Params: dbscan.Params{Eps: 1.0, MinPts: 4},
 		Truth:  truth,
 	}

@@ -26,13 +26,15 @@ func WriteCSV(w io.Writer, pts []geom.Point) error {
 	return cw.Error()
 }
 
-// ReadCSV parses points from CSV rows of coordinates. Every row must have
-// the same number of columns.
-func ReadCSV(r io.Reader) ([]geom.Point, error) {
+// ReadCSVStore parses points from CSV rows of coordinates straight into a
+// flat geom.Store (stride = number of columns of the first row) — one
+// backing array for the whole file instead of one allocation per row. Every
+// row must have the same number of columns. A nil store (and nil error) is
+// returned for empty input, which has no stride to size a store with.
+func ReadCSVStore(r io.Reader) (*geom.Store, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
-	var pts []geom.Point
-	dim := -1
+	var st *geom.Store
 	line := 0
 	for {
 		rec, err := cr.Read()
@@ -43,15 +45,15 @@ func ReadCSV(r io.Reader) ([]geom.Point, error) {
 			return nil, fmt.Errorf("data: reading csv: %w", err)
 		}
 		line++
-		if dim == -1 {
-			dim = len(rec)
-			if dim == 0 {
+		if st == nil {
+			if len(rec) == 0 {
 				return nil, fmt.Errorf("data: csv line %d has no columns", line)
 			}
-		} else if len(rec) != dim {
-			return nil, fmt.Errorf("data: csv line %d has %d columns, want %d", line, len(rec), dim)
+			st = geom.NewStore(len(rec), 64)
+		} else if len(rec) != st.Dim() {
+			return nil, fmt.Errorf("data: csv line %d has %d columns, want %d", line, len(rec), st.Dim())
 		}
-		p := make(geom.Point, dim)
+		p := st.AppendZero()
 		for i, field := range rec {
 			v, err := strconv.ParseFloat(field, 64)
 			if err != nil {
@@ -62,7 +64,18 @@ func ReadCSV(r io.Reader) ([]geom.Point, error) {
 		if !p.IsFinite() {
 			return nil, fmt.Errorf("data: csv line %d contains non-finite coordinates", line)
 		}
-		pts = append(pts, p)
 	}
-	return pts, nil
+	return st, nil
+}
+
+// ReadCSV parses points from CSV rows of coordinates. Every row must have
+// the same number of columns. The points are zero-copy views into one flat
+// backing store (see ReadCSVStore); use ReadCSVStore directly to keep the
+// store for store-backed index builds.
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	st, err := ReadCSVStore(r)
+	if err != nil || st == nil {
+		return nil, err
+	}
+	return st.Views(), nil
 }

@@ -6,7 +6,6 @@ import (
 	"github.com/dbdc-go/dbdc/internal/cluster"
 	"github.com/dbdc-go/dbdc/internal/dbscan"
 	"github.com/dbdc-go/dbdc/internal/geom"
-	"github.com/dbdc-go/dbdc/internal/index"
 	"github.com/dbdc-go/dbdc/internal/model"
 )
 
@@ -48,7 +47,7 @@ func GlobalStep(models []*model.LocalModel, cfg Config) (*model.GlobalModel, err
 	for i, r := range reps {
 		pts[i] = r.Point
 	}
-	idx, err := index.Build(cfg.Index, pts, geom.Euclidean{}, epsGlobal)
+	idx, err := buildPointIndex(cfg.Index, pts, epsGlobal)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,23 @@
+package dbdc
+
+import (
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+)
+
+// buildPointIndex builds the spatial index for a slice of points, routing
+// through the flat geom.Store whenever the slice is store-shapeable (same
+// dimensionality throughout). A store-backed index answers its range queries
+// with the strided store kernels — no per-point slice-header chasing — and
+// exposes the store to dbscan via index.StoreOf, which upgrades the whole
+// clustering run onto the flat layout. Inputs a store cannot hold (empty, or
+// mixed dimensionality) fall back to the slice builder so error and panic
+// behavior stay exactly as before.
+func buildPointIndex(kind index.Kind, pts []geom.Point, epsHint float64) (index.Index, error) {
+	if len(pts) > 0 {
+		if st, err := geom.FromPoints(pts); err == nil {
+			return index.BuildStore(kind, st, geom.Euclidean{}, epsHint)
+		}
+	}
+	return index.Build(kind, pts, geom.Euclidean{}, epsHint)
+}

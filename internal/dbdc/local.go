@@ -56,10 +56,34 @@ func LocalStep(siteID string, pts []geom.Point, cfg Config) (*LocalOutcome, erro
 	}
 	cfg = cfg.withDefaults()
 	clusterStart := time.Now()
-	idx, err := index.Build(cfg.Index, pts, geom.Euclidean{}, cfg.Local.Eps)
+	idx, err := buildPointIndex(cfg.Index, pts, cfg.Local.Eps)
 	if err != nil {
 		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
 	}
+	return localStepFrom(siteID, pts, idx, cfg, clusterStart)
+}
+
+// LocalStepStore is LocalStep for a site whose objects already live in a
+// flat geom.Store (the layout the data loaders and generators produce). The
+// index bulk-loads straight from the store's backing array — zero coordinate
+// copies — and the outcome's Points are zero-copy views into the store.
+func LocalStepStore(siteID string, st *geom.Store, cfg Config) (*LocalOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	clusterStart := time.Now()
+	idx, err := index.BuildStore(cfg.Index, st, geom.Euclidean{}, cfg.Local.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
+	}
+	return localStepFrom(siteID, st.Views(), idx, cfg, clusterStart)
+}
+
+// localStepFrom is the shared tail of LocalStep and LocalStepStore: run the
+// clustering over the prebuilt index and condense the result into the local
+// model.
+func localStepFrom(siteID string, pts []geom.Point, idx index.Index, cfg Config, clusterStart time.Time) (*LocalOutcome, error) {
 	res, err := dbscan.Run(idx, cfg.Local, dbscan.Options{
 		CollectSpecificCores: true,
 		Workers:              cfg.SiteWorkers,

@@ -1,0 +1,95 @@
+package dbdc
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// storeTestPoints builds two blobs plus noise straight into a store.
+func storeTestPoints(seed int64) *geom.Store {
+	rng := rand.New(rand.NewSource(seed))
+	st := geom.NewStore(2, 500)
+	for i := 0; i < 200; i++ {
+		st.AppendCoords(5+rng.NormFloat64(), 5+rng.NormFloat64())
+	}
+	for i := 0; i < 200; i++ {
+		st.AppendCoords(20+rng.NormFloat64(), 8+rng.NormFloat64())
+	}
+	for i := 0; i < 100; i++ {
+		st.AppendCoords(rng.Float64()*30, rng.Float64()*20)
+	}
+	return st
+}
+
+// TestLocalStepStoreDifferential: LocalStepStore and LocalStep over
+// independently cloned points must produce identical clusterings and
+// byte-identical local models, for every index kind, both model kinds, and
+// both the sequential and the parallel kernel. This is the dbdc-level half
+// of the store/slice differential (the dbscan-level half lives in
+// internal/dbscan).
+func TestLocalStepStoreDifferential(t *testing.T) {
+	st := storeTestPoints(7)
+	// Clone into per-point allocations so the slice path shares nothing
+	// with the store.
+	clones := make([]geom.Point, st.Len())
+	for i := range clones {
+		clones[i] = st.Point(i).Clone()
+	}
+	for _, kind := range index.Kinds() {
+		for _, mk := range []model.Kind{model.RepScor, model.RepKMeans} {
+			for _, workers := range []int{1, 4} {
+				cfg := Config{
+					Local:       dbscan.Params{Eps: 0.8, MinPts: 5},
+					Model:       mk,
+					Index:       kind,
+					SiteWorkers: workers,
+				}
+				want, err := LocalStep("site-slice", clones, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s/w=%d: LocalStep: %v", kind, mk, workers, err)
+				}
+				got, err := LocalStepStore("site-slice", st, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s/w=%d: LocalStepStore: %v", kind, mk, workers, err)
+				}
+				if !reflect.DeepEqual(got.Clustering.Labels, want.Clustering.Labels) {
+					t.Errorf("%s/%s/w=%d: labels differ between store and slice path", kind, mk, workers)
+				}
+				gb, err := got.Model.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wb, err := want.Model.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gb, wb) {
+					t.Errorf("%s/%s/w=%d: local model wire frames differ between store and slice path", kind, mk, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalStepStoreOutcomeViews: the store outcome's Points alias the
+// store — handing the same backing array to relabeling without a copy.
+func TestLocalStepStoreOutcomeViews(t *testing.T) {
+	st := storeTestPoints(3)
+	out, err := LocalStepStore("s", st, Config{Local: dbscan.Params{Eps: 0.8, MinPts: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != st.Len() {
+		t.Fatalf("outcome has %d points, store %d", len(out.Points), st.Len())
+	}
+	if &out.Points[0][0] != &st.Point(0)[0] {
+		t.Fatal("outcome points do not alias the store")
+	}
+}

@@ -42,7 +42,12 @@ type RepSelector struct {
 	maxEps float64
 	dim    int
 	idx    index.Index
-	sq     geom.SquaredMetric
+	// store holds the representative points in one flat backing array,
+	// row-aligned with reps. The candidate filter of SelectInto runs on the
+	// strided store kernel (bit-identical to sq.DistanceSq — same operand
+	// and summation order) so classification never chases per-rep slice
+	// headers.
+	store *geom.Store
 }
 
 // NewRepSelector builds the selector for a global model over the given
@@ -79,13 +84,22 @@ func NewRepSelector(global *model.GlobalModel, kind index.Kind) (*RepSelector, e
 		}
 	}
 	metric := geom.Euclidean{}
-	idx, err := index.Build(kind, repPts, metric, s.maxEps)
+	// Pack the representative points into one flat store (validated above,
+	// so FromPoints cannot fail on dimensionality) and bulk-load the index
+	// from it: range queries and the candidate filter both run on the
+	// strided kernels.
+	st, err := geom.FromPoints(repPts)
+	if err != nil {
+		return nil, fmt.Errorf("dbdc: relabel: indexing %d global representatives: %w",
+			len(global.Reps), err)
+	}
+	idx, err := index.BuildStore(kind, st, metric, s.maxEps)
 	if err != nil {
 		return nil, fmt.Errorf("dbdc: relabel: indexing %d global representatives: %w",
 			len(global.Reps), err)
 	}
 	s.idx = idx
-	s.sq = metric
+	s.store = st
 	return s, nil
 }
 
@@ -117,7 +131,9 @@ func (s *RepSelector) SelectInto(p geom.Point, buf []int) (cluster.ID, []int) {
 	bestSq := math.Inf(1)
 	bestRep := math.MaxInt
 	for _, ri := range buf {
-		d2 := s.sq.DistanceSq(p, s.reps[ri].Point)
+		// Strided store row ri holds a copy of reps[ri].Point; the kernel is
+		// bit-identical to sq.DistanceSq(p, reps[ri].Point).
+		d2 := s.store.DistanceSqTo(ri, p)
 		if d2 > s.epsSq[ri] {
 			continue // outside r's own ε_r-range
 		}

@@ -23,13 +23,14 @@ import (
 // workers ≤ 1 keeps the sequential path (no goroutines, no merge copies).
 func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 	metric := idx.Metric()
+	st := index.StoreOf(idx)
 	if workers <= 1 {
 		for i := range r.Core {
 			if r.Core[i] {
-				r.maybeAddSpecificCore(idx, metric, r.Labels[i], i)
+				r.maybeAddSpecificCore(idx, metric, st, r.Labels[i], i)
 			}
 		}
-		r.computeSpecificEps(idx, metric)
+		r.computeSpecificEps(idx, metric, st)
 		return
 	}
 
@@ -89,19 +90,29 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 				}
 				cores := coresByCluster[c]
 				// Definition 6: greedy coverage in ascending core order —
-				// keep a core point iff no already-kept one covers it.
+				// keep a core point iff no already-kept one covers it. The
+				// store path runs the same comparisons through the strided
+				// kernels by id (bit-identical operand/summation order).
 				var scor []int
 				for _, q := range cores {
 					qp := idx.Point(q)
 					covered := false
-					if hasSq {
+					switch {
+					case st != nil:
+						for _, s := range scor {
+							if st.DistanceSq(s, q) <= eps2 {
+								covered = true
+								break
+							}
+						}
+					case hasSq:
 						for _, s := range scor {
 							if sq.DistanceSq(idx.Point(s), qp) <= eps2 {
 								covered = true
 								break
 							}
 						}
-					} else {
+					default:
 						for _, s := range scor {
 							if metric.Distance(idx.Point(s), qp) <= r.Params.Eps {
 								covered = true
@@ -117,9 +128,21 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 				eps := make([]float64, len(scor))
 				for k, s := range scor {
 					sp := idx.Point(s)
-					buf = index.RangeInto(idx, sp, r.Params.Eps, buf)
+					buf = index.RangeIntoID(idx, s, r.Params.Eps, buf)
 					var maxDist float64
-					if hasSq {
+					switch {
+					case st != nil:
+						var maxSq float64
+						for _, ni := range buf {
+							if ni == s || !r.Core[ni] {
+								continue
+							}
+							if d2 := st.DistanceSq(s, ni); d2 > maxSq {
+								maxSq = d2
+							}
+						}
+						maxDist = math.Sqrt(maxSq)
+					case hasSq:
 						var maxSq float64
 						for _, ni := range buf {
 							if ni == s || !r.Core[ni] {
@@ -130,7 +153,7 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 							}
 						}
 						maxDist = math.Sqrt(maxSq)
-					} else {
+					default:
 						for _, ni := range buf {
 							if ni == s || !r.Core[ni] {
 								continue

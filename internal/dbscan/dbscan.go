@@ -96,16 +96,21 @@ func Run(idx index.Index, params Params, opts Options) (*Result, error) {
 		res.SpecificEps = make(map[int]float64)
 	}
 	metric := idx.Metric()
+	// st is the flat backing store when the index is store-backed under the
+	// Euclidean metric; the specific-core coverage and ε-range folds then run
+	// on the strided kernels by object id.
+	st := index.StoreOf(idx)
 	var clusterID cluster.ID
 	// seeds and nbuf are reused across queries to avoid per-object
 	// allocations; every query result is fully consumed before the next
-	// query overwrites the buffer.
+	// query overwrites the buffer. Queries go by object id (RangeIntoID), so
+	// store-backed indexes never materialise a query point.
 	var seeds, nbuf []int
 	for i := 0; i < n; i++ {
 		if res.Labels[i] != cluster.Unclassified {
 			continue
 		}
-		neighbors := index.RangeInto(idx, idx.Point(i), params.Eps, nbuf)
+		neighbors := index.RangeIntoID(idx, i, params.Eps, nbuf)
 		nbuf = neighbors
 		res.RangeQueries++
 		if len(neighbors) < params.MinPts {
@@ -138,7 +143,7 @@ func Run(idx index.Index, params Params, opts Options) (*Result, error) {
 		for len(seeds) > 0 {
 			q := seeds[len(seeds)-1]
 			seeds = seeds[:len(seeds)-1]
-			qNeighbors := index.RangeInto(idx, idx.Point(q), params.Eps, nbuf)
+			qNeighbors := index.RangeIntoID(idx, q, params.Eps, nbuf)
 			nbuf = qNeighbors
 			res.RangeQueries++
 			if len(qNeighbors) < params.MinPts {
@@ -146,7 +151,7 @@ func Run(idx index.Index, params Params, opts Options) (*Result, error) {
 			}
 			res.Core[q] = true
 			if opts.CollectSpecificCores {
-				res.maybeAddSpecificCore(idx, metric, clusterID, q)
+				res.maybeAddSpecificCore(idx, metric, st, clusterID, q)
 			}
 			for _, r := range qNeighbors {
 				switch res.Labels[r] {
@@ -161,7 +166,7 @@ func Run(idx index.Index, params Params, opts Options) (*Result, error) {
 		clusterID++
 	}
 	if opts.CollectSpecificCores {
-		res.computeSpecificEps(idx, metric)
+		res.computeSpecificEps(idx, metric, st)
 	}
 	return res, nil
 }
@@ -172,8 +177,19 @@ func Run(idx index.Index, params Params, opts Options) (*Result, error) {
 // core point is either selected or covered at the moment it is processed, so
 // condition 3 of Definition 6 (complete coverage of Cor) holds by
 // construction. The coverage test compares in squared space when the metric
-// supports it.
-func (r *Result) maybeAddSpecificCore(idx index.Index, metric geom.Metric, id cluster.ID, q int) {
+// supports it, and through the strided store kernels by id when the index is
+// store-backed (bit-identical: same operand and summation order).
+func (r *Result) maybeAddSpecificCore(idx index.Index, metric geom.Metric, st *geom.Store, id cluster.ID, q int) {
+	if st != nil {
+		eps2 := r.Params.Eps * r.Params.Eps
+		for _, s := range r.Scor[id] {
+			if st.DistanceSq(s, q) <= eps2 {
+				return
+			}
+		}
+		r.Scor[id] = append(r.Scor[id], q)
+		return
+	}
 	qp := idx.Point(q)
 	if sq, ok := geom.AsSquared(metric); ok {
 		eps2 := r.Params.Eps * r.Params.Eps
@@ -199,16 +215,29 @@ func (r *Result) maybeAddSpecificCore(idx index.Index, metric geom.Metric, id cl
 // the maximum is taken in squared space when the metric supports it (a
 // single sqrt per specific core point instead of one per neighbor; exact,
 // since the correctly rounded sqrt is monotone and commutes with max).
-func (r *Result) computeSpecificEps(idx index.Index, metric geom.Metric) {
+func (r *Result) computeSpecificEps(idx index.Index, metric geom.Metric, st *geom.Store) {
 	sq, hasSq := geom.AsSquared(metric)
 	var buf []int
 	for _, scor := range r.Scor {
 		for _, s := range scor {
 			sp := idx.Point(s)
 			r.RangeQueries++
-			buf = index.RangeInto(idx, sp, r.Params.Eps, buf)
+			buf = index.RangeIntoID(idx, s, r.Params.Eps, buf)
 			var maxDist float64
-			if hasSq {
+			switch {
+			case st != nil:
+				// Strided fold by id — row s against each neighbor row.
+				var maxSq float64
+				for _, ni := range buf {
+					if ni == s || !r.Core[ni] {
+						continue
+					}
+					if d2 := st.DistanceSq(s, ni); d2 > maxSq {
+						maxSq = d2
+					}
+				}
+				maxDist = math.Sqrt(maxSq)
+			case hasSq:
 				var maxSq float64
 				for _, ni := range buf {
 					if ni == s || !r.Core[ni] {
@@ -219,7 +248,7 @@ func (r *Result) computeSpecificEps(idx index.Index, metric geom.Metric) {
 					}
 				}
 				maxDist = math.Sqrt(maxSq)
-			} else {
+			default:
 				for _, ni := range buf {
 					if ni == s || !r.Core[ni] {
 						continue

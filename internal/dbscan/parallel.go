@@ -116,7 +116,7 @@ func RunParallel(idx index.Index, params Params, opts Options) (*Result, error) 
 			}
 			var buf []int
 			for i := sh.lo; i < sh.hi; i++ {
-				buf = index.RangeInto(idx, idx.Point(i), params.Eps, buf)
+				buf = index.RangeIntoID(idx, i, params.Eps, buf)
 				sh.queries++
 				if len(buf) >= params.MinPts {
 					res.Core[i] = true

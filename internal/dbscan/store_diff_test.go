@@ -1,0 +1,97 @@
+// Package dbscan_test holds the store-vs-slice differential: it lives in an
+// external test package so it can pull in the data generators (package data
+// imports dbscan for Params, which would cycle from an internal test).
+package dbscan_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/data"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index"
+)
+
+// diffPoints builds a modest mixed data set: three blobs, a ring, and
+// background noise — enough structure for clusters, border points, and
+// noise to all appear.
+func diffPoints(t *testing.T) []geom.Point {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var pts []geom.Point
+	pts = append(pts, data.Blob(rng, geom.Point{10, 10}, 1.0, 220)...)
+	pts = append(pts, data.Blob(rng, geom.Point{30, 12}, 1.3, 220)...)
+	pts = append(pts, data.Blob(rng, geom.Point{20, 32}, 0.8, 220)...)
+	pts = append(pts, data.Ring(rng, 20, 32, 6, 0.3, 180)...)
+	pts = append(pts, data.Uniform(rng, geom.NewRect(geom.Point{0, 0}, geom.Point{45, 45}), 120)...)
+	return pts
+}
+
+// clonePoints deep-copies so the slice path runs on genuinely independent
+// per-point allocations, not store views.
+func clonePoints(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// TestStorePipelineDifferential is the end-to-end acceptance check of the
+// flat-store refactor: for every index kind and for both the sequential and
+// the parallel kernel, a store-backed clustering must be indistinguishable
+// from the slice-backed clustering — identical labels, identical cluster
+// count, identical region-query count, identical specific cores and
+// specific ε. Not "equivalent up to renumbering": identical.
+func TestStorePipelineDifferential(t *testing.T) {
+	pts := diffPoints(t)
+	params := dbscan.Params{Eps: 1.1, MinPts: 5}
+	st, err := geom.FromPoints(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range index.Kinds() {
+		for _, workers := range []int{1, 4} {
+			opts := dbscan.Options{CollectSpecificCores: true, Workers: workers}
+
+			sliceIdx, err := index.Build(kind, clonePoints(pts), geom.Euclidean{}, params.Eps)
+			if err != nil {
+				t.Fatalf("%s: Build: %v", kind, err)
+			}
+			want, err := dbscan.Run(sliceIdx, params, opts)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: slice run: %v", kind, workers, err)
+			}
+
+			storeIdx, err := index.BuildStore(kind, st, geom.Euclidean{}, params.Eps)
+			if err != nil {
+				t.Fatalf("%s: BuildStore: %v", kind, err)
+			}
+			if got := index.StoreOf(storeIdx); got == nil {
+				t.Fatalf("%s: store-built index does not expose its store", kind)
+			}
+			got, err := dbscan.Run(storeIdx, params, opts)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: store run: %v", kind, workers, err)
+			}
+
+			if !reflect.DeepEqual(got.Labels, want.Labels) {
+				t.Errorf("%s/workers=%d: store labels differ from slice labels", kind, workers)
+			}
+			if got.NumClusters() != want.NumClusters() {
+				t.Errorf("%s/workers=%d: %d clusters vs %d", kind, workers, got.NumClusters(), want.NumClusters())
+			}
+			if got.RangeQueries != want.RangeQueries {
+				t.Errorf("%s/workers=%d: %d range queries vs %d", kind, workers, got.RangeQueries, want.RangeQueries)
+			}
+			if !reflect.DeepEqual(got.Scor, want.Scor) {
+				t.Errorf("%s/workers=%d: specific cores differ", kind, workers)
+			}
+			if !reflect.DeepEqual(got.SpecificEps, want.SpecificEps) {
+				t.Errorf("%s/workers=%d: specific ε differ", kind, workers)
+			}
+		}
+	}
+}

@@ -31,16 +31,29 @@ func RectFromPoint(p Point) Rect {
 }
 
 // BoundingRect returns the smallest rectangle enclosing all given points.
-// It panics on an empty slice.
+// It panics on an empty slice or on mixed dimensionality. The fold runs in
+// a single pass over two scratch corners — exactly two allocations total,
+// instead of the clone-and-extend-per-point of the naive fold (pinned by
+// an AllocsPerRun test). Store-backed callers use Store.BoundingRect, the
+// strided variant over the flat backing array.
 func BoundingRect(pts []Point) Rect {
 	if len(pts) == 0 {
 		panic("geom: BoundingRect of empty point set")
 	}
-	r := RectFromPoint(pts[0])
+	min := pts[0].Clone()
+	max := pts[0].Clone()
 	for _, p := range pts[1:] {
-		r = r.ExtendPoint(p)
+		mustSameDim(min, p)
+		for i, v := range p {
+			if v < min[i] {
+				min[i] = v
+			}
+			if v > max[i] {
+				max[i] = v
+			}
+		}
 	}
-	return r
+	return Rect{Min: min, Max: max}
 }
 
 // Dim returns the dimensionality of the rectangle.

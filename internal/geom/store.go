@@ -1,0 +1,238 @@
+package geom
+
+import "fmt"
+
+// Store is a flat, fixed-stride point store: n points of dimensionality dim
+// laid out row-major in one contiguous []float64. It is the memory layout
+// the hot paths run on — one backing array instead of one heap object per
+// point — so distance kernels stream cache lines instead of chasing
+// pointers, and bulk index builds are bandwidth-bound rather than
+// allocator-bound.
+//
+// Point(i) returns a zero-copy subslice view into the backing array, so the
+// whole geom.Point API (and every index that speaks Point) keeps working on
+// top of a Store without conversion. The aliasing contract:
+//
+//   - Views alias the backing array: mutating the store through Coords (or
+//     a view) is visible through every other view of the same point.
+//   - Append may grow the backing array. Views taken BEFORE a growing
+//     Append keep referencing the old array — their values stay correct,
+//     but they no longer alias the store. Reserve the full capacity up
+//     front (NewStore's capacity hint, or Reserve) when views must alias
+//     for the store's whole lifetime; FromPoints sizes exactly and never
+//     reallocates afterwards unless appended to.
+//
+// The strided kernels DistanceSq / DistanceSqTo are bit-identical to the
+// Euclidean slice kernels (same operand order, same summation order), which
+// is what lets store-backed indexes produce byte-identical clusterings; the
+// fuzz and differential tests in store_test.go pin this. Index bounds in
+// the kernels are validated only under -tags dbdc_debugchecks, mirroring
+// the hoisted dimension checks of the distance kernels (see checks.go):
+// out-of-range ids still fail loudly through the subslice bounds panic.
+type Store struct {
+	buf []float64
+	dim int
+}
+
+// NewStore returns an empty store for points of dimensionality dim with
+// capacity for n points reserved up front. dim must be positive.
+func NewStore(dim, n int) *Store {
+	if dim <= 0 {
+		panic(fmt.Sprintf("geom: store dimensionality must be positive, got %d", dim))
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Store{buf: make([]float64, 0, dim*n), dim: dim}
+}
+
+// FromPoints builds a store holding an independent flat copy of pts — one
+// allocation and one sequential copy, regardless of the number of points.
+// It returns an error when the points disagree on dimensionality (the same
+// condition the index builders reject) or when pts is empty (a store needs
+// a stride). The input points are not retained.
+func FromPoints(pts []Point) (*Store, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("geom: store from empty point set (no stride)")
+	}
+	dim := pts[0].Dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("geom: store from zero-dimensional points")
+	}
+	s := NewStore(dim, len(pts))
+	for i, p := range pts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("geom: store point %d has dimension %d, want %d", i, p.Dim(), dim)
+		}
+		s.buf = append(s.buf, p...)
+	}
+	return s, nil
+}
+
+// Dim returns the point dimensionality (the stride).
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of stored points.
+func (s *Store) Len() int { return len(s.buf) / s.dim }
+
+// Coords exposes the backing array (row-major, stride Dim). Callers may
+// read it freely and mutate coordinates in place; they must not grow it.
+func (s *Store) Coords() []float64 { return s.buf }
+
+// Reserve grows the backing array's capacity to hold at least n points
+// total, so subsequent Appends up to that size never reallocate (and views
+// keep aliasing).
+func (s *Store) Reserve(n int) {
+	if need := n * s.dim; cap(s.buf) < need {
+		grown := make([]float64, len(s.buf), need)
+		copy(grown, s.buf)
+		s.buf = grown
+	}
+}
+
+// Point returns the i-th point as a zero-copy view into the backing array.
+// The view's capacity is clipped to the stride, so appending to a view can
+// never silently overwrite the next point. Callers must not mutate the
+// view unless they own the store.
+func (s *Store) Point(i int) Point {
+	base := i * s.dim
+	return Point(s.buf[base : base+s.dim : base+s.dim])
+}
+
+// Views materialises the slice of all point views — one allocation for the
+// slice headers, zero copies of coordinates. It is how slice-shaped APIs
+// ([]geom.Point) are served from a store. Nil for an empty store.
+func (s *Store) Views() []Point {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = s.Point(i)
+	}
+	return out
+}
+
+// Append copies p into the store. The dimensionality must match; this is a
+// build-time path, so the check is unconditional.
+func (s *Store) Append(p Point) {
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("geom: appending %d-dimensional point to store of stride %d", len(p), s.dim))
+	}
+	s.buf = append(s.buf, p...)
+}
+
+// AppendCoords appends one point given as individual coordinates, avoiding
+// a Point allocation at call sites that compute coordinates on the fly
+// (the synthetic data generators). len(vals) must equal Dim.
+func (s *Store) AppendCoords(vals ...float64) {
+	if len(vals) != s.dim {
+		panic(fmt.Sprintf("geom: appending %d coordinates to store of stride %d", len(vals), s.dim))
+	}
+	s.buf = append(s.buf, vals...)
+}
+
+// AppendZero appends one all-zero point and returns its view for in-place
+// filling. The view is valid until the next growing Append; reserve
+// capacity up front when filling incrementally.
+func (s *Store) AppendZero() Point {
+	base := len(s.buf)
+	s.buf = append(s.buf, make([]float64, s.dim)...)
+	return Point(s.buf[base : base+s.dim : base+s.dim])
+}
+
+// Clone returns an independent deep copy of the store.
+func (s *Store) Clone() *Store {
+	buf := make([]float64, len(s.buf))
+	copy(buf, s.buf)
+	return &Store{buf: buf, dim: s.dim}
+}
+
+// IsFinite reports whether every stored coordinate is finite — the bulk
+// equivalent of Point.IsFinite, one strided pass over the backing array.
+func (s *Store) IsFinite() bool {
+	for _, v := range s.buf {
+		// Self-comparison catches NaN; the magnitude test catches ±Inf
+		// without calling out to math (v != v is the canonical NaN test).
+		if v != v || v > maxFinite || v < -maxFinite {
+			return false
+		}
+	}
+	return true
+}
+
+const maxFinite = 1.7976931348623157e308 // math.MaxFloat64, inlined to keep the loop branch-cheap
+
+// DistanceSq returns the squared Euclidean distance between stored points i
+// and j — the strided counterpart of Euclidean.DistanceSq(Point(i),
+// Point(j)), bit-identical to it (same operand and summation order).
+func (s *Store) DistanceSq(i, j int) float64 {
+	if debugChecks {
+		s.mustIndex(i)
+		s.mustIndex(j)
+	}
+	d := s.dim
+	a := s.buf[i*d : i*d+d : i*d+d]
+	b := s.buf[j*d : j*d+d : j*d+d]
+	b = b[:len(a)]
+	var sum float64
+	for k := range a {
+		diff := a[k] - b[k]
+		sum += diff * diff
+	}
+	return sum
+}
+
+// DistanceSqTo returns the squared Euclidean distance between the external
+// query point q and stored point i — bit-identical to
+// Euclidean.DistanceSq(q, Point(i)), the operand order of every index's
+// candidate-verification loop. A q longer than the stride panics via the
+// capacity-clipped reslice, exactly like the slice kernel.
+func (s *Store) DistanceSqTo(i int, q Point) float64 {
+	if debugChecks {
+		s.mustIndex(i)
+		mustSameDim(q, s.Point(i))
+	}
+	d := s.dim
+	row := s.buf[i*d : i*d+d : i*d+d]
+	row = row[:len(q)]
+	var sum float64
+	for k := range q {
+		diff := q[k] - row[k]
+		sum += diff * diff
+	}
+	return sum
+}
+
+// BoundingRect returns the smallest rectangle enclosing all stored points
+// in a single strided pass with two scratch corners — no per-point clone
+// or intermediate rect. It panics on an empty store, like BoundingRect.
+func (s *Store) BoundingRect() Rect {
+	if s.Len() == 0 {
+		panic("geom: BoundingRect of empty store")
+	}
+	d := s.dim
+	min := make(Point, d)
+	max := make(Point, d)
+	copy(min, s.buf[:d])
+	copy(max, s.buf[:d])
+	for base := d; base < len(s.buf); base += d {
+		row := s.buf[base : base+d]
+		for k, v := range row {
+			if v < min[k] {
+				min[k] = v
+			}
+			if v > max[k] {
+				max[k] = v
+			}
+		}
+	}
+	return Rect{Min: min, Max: max}
+}
+
+func (s *Store) mustIndex(i int) {
+	if i < 0 || i >= s.Len() {
+		panic(fmt.Sprintf("geom: store index %d out of range [0, %d)", i, s.Len()))
+	}
+}

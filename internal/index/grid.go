@@ -26,6 +26,10 @@ type Grid struct {
 	// additionally devirtualizes the common Euclidean case.
 	sq     geom.SquaredMetric
 	euclid bool
+	// store is the flat backing store when built via NewGridStore; candidate
+	// verification under the Euclidean metric then runs on the strided
+	// Store kernels by candidate id.
+	store *geom.Store
 	// scratch pools the per-query cell-walk state so concurrent range
 	// queries stay allocation-free in steady state.
 	scratch sync.Pool
@@ -79,6 +83,21 @@ func NewGrid(pts []geom.Point, metric geom.Metric, eps float64) (*Grid, error) {
 	}
 	return g, nil
 }
+
+// NewGridStore builds a grid index over the points of a flat store. The
+// store is retained — Point(i) serves zero-copy views and Euclidean
+// candidate verification runs on the strided Store kernels.
+func NewGridStore(st *geom.Store, metric geom.Metric, eps float64) (*Grid, error) {
+	g, err := NewGrid(st.Views(), metric, eps)
+	if err != nil {
+		return nil, err
+	}
+	g.store = st
+	return g, nil
+}
+
+// Store implements StoreBacked. Nil when the index was built from a slice.
+func (g *Grid) Store() *geom.Store { return g.store }
 
 // Len implements Index.
 func (g *Grid) Len() int { return len(g.pts) }
@@ -136,12 +155,19 @@ func (g *Grid) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 		coords[d] = center[d] - reach
 	}
 	eps2 := eps * eps
+	useStore := g.euclid && g.store != nil
 	// Odometer walk over the (2·reach+1)^d surrounding cells.
 	for {
 		key := appendCellKey(s.key[:0], coords)
 		for _, i := range g.cells[string(key)] {
 			p := g.pts[i]
 			switch {
+			case useStore:
+				// Strided kernel by candidate id — bit-identical to the
+				// Euclidean slice kernel (same operand/summation order).
+				if g.store.DistanceSqTo(i, q) <= eps2 {
+					out = append(out, i)
+				}
 			case g.euclid:
 				if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
 					out = append(out, i)

@@ -44,6 +44,50 @@ func RangeInto(idx Index, q geom.Point, eps float64, buf []int) []int {
 	return idx.Range(q, eps)
 }
 
+// IDRangeAppender is implemented by indexes that can answer a range query
+// for one of their own points addressed by id, without the caller
+// materialising the query point. Store-backed indexes route this through
+// the strided geom.Store kernels (flat-buffer row vs. flat-buffer row).
+type IDRangeAppender interface {
+	// RangeAppendID behaves like RangeAppend with q = Point(i).
+	RangeAppendID(i int, eps float64, buf []int) []int
+}
+
+// RangeIntoID performs the range query for indexed point i, the form the
+// DBSCAN expansion loops use (their query points are always index members).
+// It prefers the by-id fast path and falls back to RangeInto with the
+// zero-copy Point(i) view — never a per-point copy.
+func RangeIntoID(idx Index, i int, eps float64, buf []int) []int {
+	if ra, ok := idx.(IDRangeAppender); ok {
+		return ra.RangeAppendID(i, eps, buf)
+	}
+	return RangeInto(idx, idx.Point(i), eps, buf)
+}
+
+// StoreBacked is implemented by indexes built over a flat geom.Store. The
+// clustering layers use it to run point-vs-point comparisons through the
+// strided kernels by id instead of through slice views. Store returns nil
+// when the index has grown past its original store (dynamic insertion)
+// and the flat buffer no longer covers every indexed point.
+type StoreBacked interface {
+	Store() *geom.Store
+}
+
+// StoreOf returns the backing store of a store-backed index under the
+// Euclidean metric, or nil. The strided kernels are Euclidean-only, so
+// callers that substitute them for metric.DistanceSq must check the metric
+// too — this helper folds both checks.
+func StoreOf(idx Index) *geom.Store {
+	sb, ok := idx.(StoreBacked)
+	if !ok {
+		return nil
+	}
+	if _, euclid := idx.Metric().(geom.Euclidean); !euclid {
+		return nil
+	}
+	return sb.Store()
+}
+
 // KNNIndex is implemented by indexes that additionally support k-nearest-
 // neighbor queries (used by the k-dist heuristic for choosing Eps).
 type KNNIndex interface {
@@ -90,12 +134,22 @@ func mustUniformDim(pts []geom.Point, kind string) {
 // epsHint (the intended query radius) to size their cells; others ignore it.
 type Builder func(pts []geom.Point, metric geom.Metric, epsHint float64) (Index, error)
 
+// StoreBuilder constructs an index over a flat point store. Store-backed
+// builds serve Point(i) as zero-copy views into the store and verify range
+// candidates through the strided kernels — no point is re-cloned on the way
+// into the index.
+type StoreBuilder func(st *geom.Store, metric geom.Metric, epsHint float64) (Index, error)
+
 var builders = map[Kind]Builder{}
+var storeBuilders = map[Kind]StoreBuilder{}
 
 // RegisterBuilder installs the builder for a kind. The concrete index
 // packages (rstar, mtree) register themselves via their Install helpers to
 // avoid import cycles; the in-package indexes are registered at init.
 func RegisterBuilder(kind Kind, b Builder) { builders[kind] = b }
+
+// RegisterStoreBuilder installs the store-backed builder for a kind.
+func RegisterStoreBuilder(kind Kind, b StoreBuilder) { storeBuilders[kind] = b }
 
 // Build constructs an index of the requested kind.
 func Build(kind Kind, pts []geom.Point, metric geom.Metric, epsHint float64) (Index, error) {
@@ -104,6 +158,21 @@ func Build(kind Kind, pts []geom.Point, metric geom.Metric, epsHint float64) (In
 		return nil, fmt.Errorf("index: no builder registered for kind %q", kind)
 	}
 	return b(pts, metric, epsHint)
+}
+
+// BuildStore constructs an index of the requested kind over a flat point
+// store. Kinds without a registered store builder fall back to the slice
+// builder over zero-copy views (one slice-header array, no coordinate
+// copies), so every kind accepts a store.
+func BuildStore(kind Kind, st *geom.Store, metric geom.Metric, epsHint float64) (Index, error) {
+	if b, ok := storeBuilders[kind]; ok {
+		return b(st, metric, epsHint)
+	}
+	b, ok := builders[kind]
+	if !ok {
+		return nil, fmt.Errorf("index: no builder registered for kind %q", kind)
+	}
+	return b(st.Views(), metric, epsHint)
 }
 
 func init() {
@@ -115,5 +184,14 @@ func init() {
 	})
 	RegisterBuilder(KindKDTree, func(pts []geom.Point, m geom.Metric, _ float64) (Index, error) {
 		return NewKDTree(pts, m)
+	})
+	RegisterStoreBuilder(KindLinear, func(st *geom.Store, m geom.Metric, _ float64) (Index, error) {
+		return NewLinearStore(st, m), nil
+	})
+	RegisterStoreBuilder(KindGrid, func(st *geom.Store, m geom.Metric, eps float64) (Index, error) {
+		return NewGridStore(st, m, eps)
+	})
+	RegisterStoreBuilder(KindKDTree, func(st *geom.Store, m geom.Metric, _ float64) (Index, error) {
+		return NewKDTreeStore(st, m)
 	})
 }

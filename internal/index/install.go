@@ -22,4 +22,15 @@ func init() {
 	RegisterBuilder(KindMTree, func(pts []geom.Point, m geom.Metric, _ float64) (Index, error) {
 		return mtree.New(pts, m)
 	})
+	RegisterStoreBuilder(KindRStar, func(st *geom.Store, m geom.Metric, _ float64) (Index, error) {
+		if m != nil {
+			if _, ok := m.(geom.Euclidean); !ok {
+				return nil, errors.New("index: the R*-tree supports only the Euclidean metric; use the M-tree for general metrics")
+			}
+		}
+		return rstar.NewBulkStore(st, rstar.DefaultMaxEntries)
+	})
+	RegisterStoreBuilder(KindMTree, func(st *geom.Store, m geom.Metric, _ float64) (Index, error) {
+		return mtree.NewFromStore(st, m)
+	})
 }

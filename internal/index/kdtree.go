@@ -23,6 +23,10 @@ type KDTree struct {
 	// support it); euclid devirtualizes the common Euclidean case.
 	sq     geom.SquaredMetric
 	euclid bool
+	// store is the flat backing store when built via NewKDTreeStore; the
+	// Euclidean range search then verifies nodes through the strided Store
+	// kernels by node id.
+	store *geom.Store
 }
 
 type kdNode struct {
@@ -76,6 +80,21 @@ func (t *KDTree) build(order []int32, depth int) int32 {
 	return slot
 }
 
+// NewKDTreeStore builds a k-d tree over the points of a flat store. The
+// store is retained — Point(i) serves zero-copy views and the Euclidean
+// range search verifies candidates through the strided Store kernels.
+func NewKDTreeStore(st *geom.Store, metric geom.Metric) (*KDTree, error) {
+	t, err := NewKDTree(st.Views(), metric)
+	if err != nil {
+		return nil, err
+	}
+	t.store = st
+	return t, nil
+}
+
+// Store implements StoreBacked. Nil when the index was built from a slice.
+func (t *KDTree) Store() *geom.Store { return t.store }
+
 // Len implements Index.
 func (t *KDTree) Len() int { return len(t.pts) }
 
@@ -96,6 +115,8 @@ func (t *KDTree) Range(q geom.Point, eps float64) []int {
 func (t *KDTree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
 	switch {
+	case t.euclid && t.store != nil:
+		t.rangeSearchEuclidStore(t.root, q, eps, eps*eps, &out)
 	case t.euclid:
 		t.rangeSearchEuclid(t.root, q, eps, eps*eps, &out)
 	case t.sq != nil:
@@ -141,6 +162,26 @@ func (t *KDTree) rangeSearchEuclid(slot int32, q geom.Point, eps, eps2 float64, 
 	}
 	if -diff <= eps {
 		t.rangeSearchEuclid(n.right, q, eps, eps2, out)
+	}
+}
+
+// rangeSearchEuclidStore is rangeSearchEuclid with node verification routed
+// through the strided Store kernel by node id — bit-identical comparisons
+// (same operand and summation order), contiguous-row memory access.
+func (t *KDTree) rangeSearchEuclidStore(slot int32, q geom.Point, eps, eps2 float64, out *[]int) {
+	if slot < 0 {
+		return
+	}
+	n := &t.nodes[slot]
+	if t.store.DistanceSqTo(int(n.idx), q) <= eps2 {
+		*out = append(*out, int(n.idx))
+	}
+	diff := q[n.axis] - t.pts[n.idx][n.axis]
+	if diff <= eps {
+		t.rangeSearchEuclidStore(n.left, q, eps, eps2, out)
+	}
+	if -diff <= eps {
+		t.rangeSearchEuclidStore(n.right, q, eps, eps2, out)
 	}
 }
 

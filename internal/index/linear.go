@@ -16,6 +16,10 @@ type Linear struct {
 	// support it; euclid devirtualizes the common Euclidean case entirely.
 	sq     geom.SquaredMetric
 	euclid bool
+	// store is the flat backing store when the index was built with
+	// NewLinearStore; the Euclidean scan then runs on the strided kernels
+	// (contiguous rows, no pointer chase per point).
+	store *geom.Store
 }
 
 // NewLinear builds a linear index over pts. The point slice is retained, not
@@ -32,6 +36,18 @@ func NewLinear(pts []geom.Point, metric geom.Metric) *Linear {
 	_, l.euclid = metric.(geom.Euclidean)
 	return l
 }
+
+// NewLinearStore builds a linear index over the points of a flat store. The
+// store is retained and Point(i) serves zero-copy views into it; under the
+// Euclidean metric the scan loop runs on the strided Store kernels.
+func NewLinearStore(st *geom.Store, metric geom.Metric) *Linear {
+	l := NewLinear(st.Views(), metric)
+	l.store = st
+	return l
+}
+
+// Store implements StoreBacked. Nil when the index was built from a slice.
+func (l *Linear) Store() *geom.Store { return l.store }
 
 // Len implements Index.
 func (l *Linear) Len() int { return len(l.pts) }
@@ -52,6 +68,16 @@ func (l *Linear) Range(q geom.Point, eps float64) []int {
 func (l *Linear) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
 	switch {
+	case l.euclid && l.store != nil:
+		// Strided kernel: q against consecutive rows of the flat buffer,
+		// bit-identical to the slice kernel below (same operand order).
+		eps2 := eps * eps
+		n := l.store.Len()
+		for i := 0; i < n; i++ {
+			if l.store.DistanceSqTo(i, q) <= eps2 {
+				out = append(out, i)
+			}
+		}
 	case l.euclid:
 		// Concrete receiver: DistanceSq inlines into the scan loop.
 		eps2 := eps * eps
@@ -75,6 +101,24 @@ func (l *Linear) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 		}
 	}
 	return out
+}
+
+// RangeAppendID implements IDRangeAppender: the query point is addressed by
+// id, so the store-backed Euclidean scan compares row against row through
+// Store.DistanceSq without materialising a query slice header.
+func (l *Linear) RangeAppendID(i int, eps float64, buf []int) []int {
+	if l.euclid && l.store != nil {
+		out := buf[:0]
+		eps2 := eps * eps
+		n := l.store.Len()
+		for j := 0; j < n; j++ {
+			if l.store.DistanceSq(i, j) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	return l.RangeAppend(l.pts[i], eps, buf)
 }
 
 // KNN implements KNNIndex.

@@ -32,6 +32,11 @@ type Tree struct {
 	// Updated atomically: the tree serves range queries from concurrent
 	// readers (e.g. dbscan.RunParallel workers).
 	distCalls int64
+	// store is the flat backing store when built via NewFromStore. Every
+	// pivot is then a zero-copy view into it, so the distance kernels stream
+	// contiguous rows; Insert demotes it to nil (inserted points live
+	// outside the store).
+	store *geom.Store
 }
 
 // entry is a routing entry (child != nil) or a ground entry (point index).
@@ -76,6 +81,40 @@ func NewWithFanout(pts []geom.Point, metric geom.Metric, maxEntries int) (*Tree,
 	return t, nil
 }
 
+// NewFromStore builds an M-tree over the points of a flat store with the
+// default fan-out. Every inserted point is a zero-copy view into the store
+// (one slice header per point, no coordinate copies), so ground entries and
+// promoted routing pivots all read from the contiguous backing array.
+func NewFromStore(st *geom.Store, metric geom.Metric) (*Tree, error) {
+	return NewFromStoreWithFanout(st, metric, DefaultMaxEntries)
+}
+
+// NewFromStoreWithFanout is NewFromStore with an explicit node capacity.
+func NewFromStoreWithFanout(st *geom.Store, metric geom.Metric, maxEntries int) (*Tree, error) {
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("mtree: max entries %d < 4", maxEntries)
+	}
+	if metric == nil {
+		metric = geom.Euclidean{}
+	}
+	t := &Tree{metric: metric, maxEntries: maxEntries}
+	t.sq, _ = geom.AsSquared(metric)
+	for i, n := 0, st.Len(); i < n; i++ {
+		if err := t.Insert(st.Point(i)); err != nil {
+			return nil, err
+		}
+	}
+	// Set after the build loop: Insert demotes the store on every call so
+	// user insertions past the store cannot leave a stale id mapping.
+	t.store = st
+	return t, nil
+}
+
+// Store returns the flat backing store of a store-built tree, or nil. It is
+// nil after any post-build Insert: inserted points are not store rows, so
+// the id ↔ row correspondence no longer holds.
+func (t *Tree) Store() *geom.Store { return t.store }
+
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.size }
 
@@ -108,6 +147,9 @@ func (t *Tree) Insert(p geom.Point) error {
 	if !p.IsFinite() {
 		return fmt.Errorf("mtree: non-finite point %v", p)
 	}
+	// The tree is growing past its flat store (if any); drop the store
+	// association rather than serve stale row ids.
+	t.store = nil
 	// Validate dimensionality once at insert time; the distance kernels skip
 	// their per-call checks (hoisted hot-path guard, see geom/checks.go).
 	if len(t.pts) > 0 && p.Dim() != t.pts[0].Dim() {

@@ -59,6 +59,51 @@ func NewBulkWithFanout(pts []geom.Point, maxEntries int) (*Tree, error) {
 	return t, nil
 }
 
+// NewBulkStore is NewBulk over the points of a flat store. Point(i) serves
+// zero-copy views into the store and leaf verification runs on the strided
+// Store kernels by point id. The degenerate leaf rectangles alias the store
+// views directly (leaf rects are only ever read, never mutated in place), so
+// the build performs no per-point coordinate copy at all — the routing-level
+// MBRs are the only rectangles cloned.
+func NewBulkStore(st *geom.Store, maxEntries int) (*Tree, error) {
+	if maxEntries < 4 {
+		return nil, fmt.Errorf("rstar: max entries %d < 4", maxEntries)
+	}
+	t := &Tree{
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5,
+	}
+	if t.minEntries < 2 {
+		t.minEntries = 2
+	}
+	if st.Len() == 0 {
+		return t, nil
+	}
+	if !st.IsFinite() {
+		// Match the per-point diagnostics of the slice path.
+		for i, n := 0, st.Len(); i < n; i++ {
+			if p := st.Point(i); !p.IsFinite() {
+				return nil, fmt.Errorf("rstar: non-finite point %v at index %d", p, i)
+			}
+		}
+	}
+	t.dim = st.Dim()
+	t.pts = st.Views()
+	t.size = st.Len()
+	t.store = st
+	entries := make([]entry, t.size)
+	for i, p := range t.pts {
+		entries[i] = entry{rect: geom.Rect{Min: p, Max: p}, idx: int32(i)}
+	}
+	level := 0
+	for len(entries) > t.maxEntries {
+		entries = t.strPack(entries, level)
+		level++
+	}
+	t.root = &node{level: level, entries: entries}
+	return t, nil
+}
+
 // strPack tiles the entries into nodes at the given level and returns the
 // routing entries referencing them.
 func (t *Tree) strPack(entries []entry, level int) []entry {

@@ -26,6 +26,10 @@ func (t *Tree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 }
 
 func (t *Tree) rangeSearch(n *node, q geom.Point, eps2 float64, out *[]int) {
+	if t.store != nil {
+		t.rangeSearchStore(n, q, eps2, out)
+		return
+	}
 	for _, e := range n.entries {
 		if n.leaf() {
 			if geom.SquaredEuclidean(q, t.pts[e.idx]) <= eps2 {
@@ -35,6 +39,23 @@ func (t *Tree) rangeSearch(n *node, q geom.Point, eps2 float64, out *[]int) {
 		}
 		if e.rect.MinDistSq(q) <= eps2 {
 			t.rangeSearch(e.child, q, eps2, out)
+		}
+	}
+}
+
+// rangeSearchStore is rangeSearch with leaf verification routed through the
+// strided Store kernel by point id — bit-identical to SquaredEuclidean
+// (same operand and summation order), contiguous-row access.
+func (t *Tree) rangeSearchStore(n *node, q geom.Point, eps2 float64, out *[]int) {
+	for _, e := range n.entries {
+		if n.leaf() {
+			if t.store.DistanceSqTo(int(e.idx), q) <= eps2 {
+				*out = append(*out, int(e.idx))
+			}
+			continue
+		}
+		if e.rect.MinDistSq(q) <= eps2 {
+			t.rangeSearchStore(e.child, q, eps2, out)
 		}
 	}
 }

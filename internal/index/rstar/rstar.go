@@ -36,6 +36,10 @@ type Tree struct {
 	pts        []geom.Point
 	size       int
 	metric     geom.Euclidean
+	// store is the flat backing store when built via NewBulkStore; leaf
+	// verification then runs on the strided Store kernels by point id.
+	// Insert demotes it to nil (inserted points live outside the store).
+	store *geom.Store
 }
 
 type entry struct {
@@ -106,12 +110,20 @@ func (t *Tree) Height() int {
 	return t.root.level + 1
 }
 
+// Store returns the flat backing store of a bulk-store-loaded tree, or nil.
+// It is nil after any Insert: inserted points are not part of the original
+// store, so the id ↔ store-row correspondence no longer holds.
+func (t *Tree) Store() *geom.Store { return t.store }
+
 // Insert adds a point to the tree and returns an error on dimensionality
 // mismatch or non-finite coordinates.
 func (t *Tree) Insert(p geom.Point) error {
 	if !p.IsFinite() {
 		return fmt.Errorf("rstar: non-finite point %v", p)
 	}
+	// The tree has grown past its store; drop the strided fast path rather
+	// than serve queries against stale row ids.
+	t.store = nil
 	if t.root == nil {
 		t.dim = p.Dim()
 		t.root = &node{level: 0}

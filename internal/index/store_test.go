@@ -1,0 +1,160 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/index/mtree"
+	"github.com/dbdc-go/dbdc/internal/index/rstar"
+)
+
+// testStore builds a store of n random 2-d points.
+func testStore(n int, seed int64) *geom.Store {
+	rng := rand.New(rand.NewSource(seed))
+	st := geom.NewStore(2, n)
+	for i := 0; i < n; i++ {
+		st.AppendCoords(rng.Float64()*40, rng.Float64()*40)
+	}
+	return st
+}
+
+func sortedRange(idx Index, q geom.Point, eps float64) []int {
+	ids := append([]int(nil), idx.Range(q, eps)...)
+	sort.Ints(ids)
+	return ids
+}
+
+// TestBuildStoreAllKinds: every kind accepts a flat store, exposes it
+// through StoreOf (same store, not a copy), and answers range queries
+// identically to its slice-built twin.
+func TestBuildStoreAllKinds(t *testing.T) {
+	st := testStore(400, 8)
+	pts := st.Views()
+	const eps = 2.5
+	for _, kind := range Kinds() {
+		sliceIdx, err := Build(kind, pts, geom.Euclidean{}, eps)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", kind, err)
+		}
+		storeIdx, err := BuildStore(kind, st, geom.Euclidean{}, eps)
+		if err != nil {
+			t.Fatalf("%s: BuildStore: %v", kind, err)
+		}
+		if got := StoreOf(storeIdx); got != st {
+			t.Errorf("%s: StoreOf = %p, want the build store %p", kind, got, st)
+		}
+		if storeIdx.Len() != st.Len() {
+			t.Fatalf("%s: store index holds %d points, store %d", kind, storeIdx.Len(), st.Len())
+		}
+		for i := 0; i < st.Len(); i += 37 {
+			q := st.Point(i)
+			got, want := sortedRange(storeIdx, q, eps), sortedRange(sliceIdx, q, eps)
+			if len(got) != len(want) {
+				t.Fatalf("%s: range sizes differ at %d: %d vs %d", kind, i, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("%s: range results differ at query %d", kind, i)
+				}
+			}
+			// The by-id path answers the same query.
+			byID := RangeIntoID(storeIdx, i, eps, nil)
+			sort.Ints(byID)
+			if len(byID) != len(want) {
+				t.Fatalf("%s: RangeIntoID size differs at %d: %d vs %d", kind, i, len(byID), len(want))
+			}
+			for k := range byID {
+				if byID[k] != want[k] {
+					t.Fatalf("%s: RangeIntoID results differ at query %d", kind, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreOfNonEuclidean: the strided kernels are Euclidean-only, so
+// StoreOf must refuse to expose a store behind any other metric even when
+// the index was built from one.
+func TestStoreOfNonEuclidean(t *testing.T) {
+	st := testStore(50, 3)
+	for _, kind := range []Kind{KindLinear, KindGrid, KindKDTree, KindMTree} {
+		idx, err := BuildStore(kind, st, geom.Manhattan{}, 2)
+		if err != nil {
+			t.Fatalf("%s: BuildStore(manhattan): %v", kind, err)
+		}
+		if StoreOf(idx) != nil {
+			t.Errorf("%s: StoreOf exposed a store under a non-Euclidean metric", kind)
+		}
+	}
+}
+
+// TestStoreDemotionOnInsert: dynamic insertion outgrows the flat store, so
+// the index must stop advertising it (a stale store would serve wrong row
+// ids) while queries stay correct and cover the inserted point.
+func TestStoreDemotionOnInsert(t *testing.T) {
+	st := testStore(100, 4)
+
+	rt, err := rstar.NewBulkStore(st, rstar.DefaultMaxEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Store() == nil {
+		t.Fatal("rstar: bulk store load lost its store")
+	}
+	if err := rt.Insert(geom.Point{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Store() != nil {
+		t.Error("rstar: store survived a dynamic insert")
+	}
+	if ids := rt.Range(geom.Point{100, 100}, 0.5); len(ids) != 1 || ids[0] != 100 {
+		t.Errorf("rstar: inserted point not found: %v", ids)
+	}
+
+	mt, err := mtree.NewFromStore(st, geom.Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Store() == nil {
+		t.Fatal("mtree: store load lost its store")
+	}
+	if err := mt.Insert(geom.Point{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if mt.Store() != nil {
+		t.Error("mtree: store survived a dynamic insert")
+	}
+	if ids := mt.Range(geom.Point{100, 100}, 0.5); len(ids) != 1 || ids[0] != 100 {
+		t.Errorf("mtree: inserted point not found: %v", ids)
+	}
+}
+
+// TestRangeAppendZeroAlloc is the hot-loop regression gate: once the result
+// buffer has grown to its steady-state capacity, a store-backed range query
+// must not allocate at all — the property that keeps the DBSCAN expansion
+// loop allocation-free per query. Skipped under the race detector, whose
+// instrumentation perturbs allocation accounting.
+func TestRangeAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	st := testStore(2000, 5)
+	const eps = 2.0
+	for _, kind := range []Kind{KindLinear, KindGrid, KindKDTree} {
+		idx, err := BuildStore(kind, st, geom.Euclidean{}, eps)
+		if err != nil {
+			t.Fatalf("%s: BuildStore: %v", kind, err)
+		}
+		buf := make([]int, 0, st.Len()) // steady-state capacity up front
+		q := 0
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = RangeIntoID(idx, q%st.Len(), eps, buf)
+			q += 131
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per store-backed range query, want 0", kind, allocs)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package model
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -36,17 +35,25 @@ const (
 	minWireGlobalRep = minWireRep + 4 + 4
 )
 
+// wireWriter appends the little-endian encoding to one flat byte slice. The
+// marshal entry points presize it to the exact frame length, so encoding a
+// model performs a single allocation regardless of the representative count
+// (the old bytes.Buffer + binary.Write writer boxed every fixed-size write).
 type wireWriter struct {
-	buf bytes.Buffer
+	buf []byte
 }
 
-func (w *wireWriter) u8(v byte)     { w.buf.WriteByte(v) }
-func (w *wireWriter) u32(v uint32)  { binary.Write(&w.buf, binary.LittleEndian, v) }
-func (w *wireWriter) i32(v int32)   { binary.Write(&w.buf, binary.LittleEndian, v) }
-func (w *wireWriter) f64(v float64) { binary.Write(&w.buf, binary.LittleEndian, math.Float64bits(v)) }
+func newWireWriter(size int) wireWriter { return wireWriter{buf: make([]byte, 0, size)} }
+
+func (w *wireWriter) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *wireWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wireWriter) i32(v int32)  { w.u32(uint32(v)) }
+func (w *wireWriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
 func (w *wireWriter) str(s string) {
 	w.u32(uint32(len(s)))
-	w.buf.WriteString(s)
+	w.buf = append(w.buf, s...)
 }
 
 type wireReader struct {
@@ -118,6 +125,32 @@ func (r *wireReader) str(limit int) string {
 	return s
 }
 
+// strInterned is str with deduplication through the given table: repeated
+// strings (the handful of site ids shared by thousands of global
+// representatives) decode to one shared allocation. The map lookup with a
+// string(b) key expression does not allocate on a hit.
+func (r *wireReader) strInterned(limit int, intern map[string]string) string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n > limit {
+		r.fail("string length %d exceeds limit %d", n, limit)
+		return ""
+	}
+	if !r.need(n) {
+		return ""
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	if s, ok := intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	intern[s] = s
+	return s
+}
+
 func writeRep(w *wireWriter, rep Representative) {
 	w.u32(uint32(rep.Point.Dim()))
 	for _, c := range rep.Point {
@@ -127,7 +160,46 @@ func writeRep(w *wireWriter, rep Representative) {
 	w.i32(int32(rep.LocalCluster))
 }
 
-func readRep(r *wireReader) Representative {
+// wireRepSize returns the encoded size of one representative.
+func wireRepSize(rep Representative) int { return 4 + 8*rep.Point.Dim() + 8 + 4 }
+
+// scanRepCoords walks n representative encodings on a VALUE COPY of the
+// reader (the caller's position is untouched) and returns the total
+// coordinate count, so the decode loop can carve every rep's point out of
+// one exactly-sized flat buffer — one coordinate allocation per model
+// instead of one per representative. With global set it also skips the
+// per-rep site id and global cluster id. ok is false when the frame is
+// malformed; the caller then falls through to the per-field decode, which
+// reports the error with its usual diagnostics.
+func scanRepCoords(r wireReader, n int, global bool) (total int, ok bool) {
+	for i := 0; i < n; i++ {
+		dim := int(r.u32())
+		if r.err != nil || dim > maxWireDim {
+			return 0, false
+		}
+		if !r.need(dim*8 + 12) {
+			return 0, false
+		}
+		r.pos += dim*8 + 12
+		if global {
+			sl := int(r.u32())
+			if r.err != nil || sl > maxWireSiteID {
+				return 0, false
+			}
+			if !r.need(sl + 4) {
+				return 0, false
+			}
+			r.pos += sl + 4
+		}
+		total += dim
+	}
+	return total, true
+}
+
+// readRep decodes one representative. When *flat has spare capacity for the
+// point it carves a capacity-clipped view out of it (the pre-scanned
+// one-allocation path); otherwise it falls back to a per-rep allocation.
+func readRep(r *wireReader, flat *[]float64) Representative {
 	dim := int(r.u32())
 	if r.err == nil && dim > maxWireDim {
 		r.fail("dimension %d exceeds limit", dim)
@@ -135,7 +207,15 @@ func readRep(r *wireReader) Representative {
 	if r.err != nil {
 		return Representative{}
 	}
-	p := make(geom.Point, dim)
+	var p geom.Point
+	if f := *flat; cap(f)-len(f) >= dim {
+		base := len(f)
+		f = f[: base+dim : cap(f)]
+		*flat = f
+		p = geom.Point(f[base : base+dim : base+dim])
+	} else {
+		p = make(geom.Point, dim)
+	}
 	for i := range p {
 		p[i] = r.f64()
 	}
@@ -146,9 +226,19 @@ func readRep(r *wireReader) Representative {
 	}
 }
 
-// MarshalBinary encodes the local model in the compact wire format.
+// wireSize returns the exact encoded size of the local model in bytes.
+func (m *LocalModel) wireSize() int {
+	size := 2 + 4 + len(m.SiteID) + 4 + len(m.Kind) + 8 + 4 + 4 + 4 + 4
+	for _, rep := range m.Reps {
+		size += wireRepSize(rep)
+	}
+	return size
+}
+
+// MarshalBinary encodes the local model in the compact wire format. The
+// output buffer is presized exactly, so the encode is one allocation total.
 func (m *LocalModel) MarshalBinary() ([]byte, error) {
-	var w wireWriter
+	w := newWireWriter(m.wireSize())
 	w.u8(tagLocalModel)
 	w.u8(wireVersion)
 	w.str(m.SiteID)
@@ -161,7 +251,7 @@ func (m *LocalModel) MarshalBinary() ([]byte, error) {
 	for _, rep := range m.Reps {
 		writeRep(&w, rep)
 	}
-	return w.buf.Bytes(), nil
+	return w.buf, nil
 }
 
 // UnmarshalBinary decodes a local model, validating limits as it reads.
@@ -205,9 +295,16 @@ func (m *LocalModel) UnmarshalBinaryPrefix(data []byte) (int, error) {
 	if r.err != nil {
 		return 0, r.err
 	}
+	// Pre-scan the rep encodings to size one flat coordinate buffer; every
+	// rep's point is then a capacity-clipped view into it (≤ 1 coordinate
+	// allocation per model instead of one per rep).
+	var flat []float64
+	if total, ok := scanRepCoords(*r, n, false); ok && total > 0 {
+		flat = make([]float64, 0, total)
+	}
 	m.Reps = make([]Representative, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
-		m.Reps = append(m.Reps, readRep(r))
+		m.Reps = append(m.Reps, readRep(r, &flat))
 	}
 	if r.err != nil {
 		return 0, r.err
@@ -234,9 +331,19 @@ func PeekLocalSiteID(data []byte) string {
 	return id
 }
 
-// MarshalBinary encodes the global model in the compact wire format.
+// wireSize returns the exact encoded size of the global model in bytes.
+func (g *GlobalModel) wireSize() int {
+	size := 2 + 8 + 4 + 4 + 4
+	for _, rep := range g.Reps {
+		size += wireRepSize(rep.Representative) + 4 + len(rep.SiteID) + 4
+	}
+	return size
+}
+
+// MarshalBinary encodes the global model in the compact wire format. The
+// output buffer is presized exactly, so the encode is one allocation total.
 func (g *GlobalModel) MarshalBinary() ([]byte, error) {
-	var w wireWriter
+	w := newWireWriter(g.wireSize())
 	w.u8(tagGlobalModel)
 	w.u8(wireVersion)
 	w.f64(g.EpsGlobal)
@@ -248,7 +355,7 @@ func (g *GlobalModel) MarshalBinary() ([]byte, error) {
 		w.str(rep.SiteID)
 		w.i32(int32(rep.GlobalCluster))
 	}
-	return w.buf.Bytes(), nil
+	return w.buf, nil
 }
 
 // UnmarshalBinary decodes a global model.
@@ -273,12 +380,20 @@ func (g *GlobalModel) UnmarshalBinary(data []byte) error {
 	if r.err != nil {
 		return r.err
 	}
+	// Pre-scan for the flat coordinate buffer (≤ 1 coordinate allocation per
+	// model) and intern the site ids — thousands of reps typically carry a
+	// handful of distinct sites, so repeated ids share one string each.
+	var flat []float64
+	if total, ok := scanRepCoords(*r, n, true); ok && total > 0 {
+		flat = make([]float64, 0, total)
+	}
+	intern := make(map[string]string, 8)
 	g.Reps = make([]GlobalRepresentative, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
-		rep := readRep(r)
+		rep := readRep(r, &flat)
 		g.Reps = append(g.Reps, GlobalRepresentative{
 			Representative: rep,
-			SiteID:         r.str(maxWireSiteID),
+			SiteID:         r.strInterned(maxWireSiteID, intern),
 			GlobalCluster:  cluster.ID(r.i32()),
 		})
 	}

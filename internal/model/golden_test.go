@@ -1,0 +1,186 @@
+package model
+
+import (
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// The golden frames below were captured from the encoder BEFORE the
+// flat-buffer rewrite (commit db0c39f's bytes.Buffer + binary.Write writer
+// and per-rep decoder). They pin the wire format: the one-allocation
+// marshal/unmarshal paths must produce and accept byte-identical frames, or
+// mixed-version site/server deployments would stop interoperating.
+const (
+	goldenLocalHex = "4c0106000000736974652d61080000007265702d73636f72000000000000f43f" +
+		"04000000e8030000020000000300000002000000000000000000f83f0000000000" +
+		"0002c0000000000000fc3f0000000002000000000000000000b03f000000000000" +
+		"20400000000000000440010000000200000000000000000008c0000000000000c0" +
+		"3f000000000000f43f01000000"
+	goldenGlobalHex = "4701000000000000044002000000010000000200000002000000000000000000" +
+		"f83f00000000000002c0000000000000fc3f0000000006000000736974652d6100" +
+		"00000002000000000000000000b03f000000000000204000000000000004400100" +
+		"000006000000736974652d6200000000"
+)
+
+func goldenLocalModel() *LocalModel {
+	return &LocalModel{
+		SiteID:      "site-a",
+		Kind:        RepScor,
+		EpsLocal:    1.25,
+		MinPts:      4,
+		NumObjects:  1000,
+		NumClusters: 2,
+		Reps: []Representative{
+			{Point: geom.Point{1.5, -2.25}, Eps: 1.75, LocalCluster: 0},
+			{Point: geom.Point{0.0625, 8}, Eps: 2.5, LocalCluster: 1},
+			{Point: geom.Point{-3, 0.125}, Eps: 1.25, LocalCluster: 1},
+		},
+	}
+}
+
+func goldenGlobalModel() *GlobalModel {
+	return &GlobalModel{
+		EpsGlobal:    2.5,
+		MinPtsGlobal: 2,
+		NumClusters:  1,
+		Reps: []GlobalRepresentative{
+			{
+				Representative: Representative{Point: geom.Point{1.5, -2.25}, Eps: 1.75, LocalCluster: 0},
+				SiteID:         "site-a",
+				GlobalCluster:  0,
+			},
+			{
+				Representative: Representative{Point: geom.Point{0.0625, 8}, Eps: 2.5, LocalCluster: 1},
+				SiteID:         "site-b",
+				GlobalCluster:  0,
+			},
+		},
+	}
+}
+
+// TestGoldenLocalFrame pins the local model encoding byte for byte against
+// the pre-refactor frame, and the decode against the original struct.
+func TestGoldenLocalFrame(t *testing.T) {
+	want, err := hex.DecodeString(goldenLocalHex)
+	if err != nil {
+		t.Fatalf("bad golden hex: %v", err)
+	}
+	got, err := goldenLocalModel().MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if hex.EncodeToString(got) != hex.EncodeToString(want) {
+		t.Fatalf("local wire frame changed:\n got  %x\n want %x", got, want)
+	}
+	var dec LocalModel
+	if err := dec.UnmarshalBinary(want); err != nil {
+		t.Fatalf("UnmarshalBinary(golden): %v", err)
+	}
+	if !reflect.DeepEqual(&dec, goldenLocalModel()) {
+		t.Fatalf("decoded local model differs:\n got  %+v\n want %+v", dec, goldenLocalModel())
+	}
+}
+
+// TestGoldenGlobalFrame is TestGoldenLocalFrame for the global model.
+func TestGoldenGlobalFrame(t *testing.T) {
+	want, err := hex.DecodeString(goldenGlobalHex)
+	if err != nil {
+		t.Fatalf("bad golden hex: %v", err)
+	}
+	got, err := goldenGlobalModel().MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if hex.EncodeToString(got) != hex.EncodeToString(want) {
+		t.Fatalf("global wire frame changed:\n got  %x\n want %x", got, want)
+	}
+	var dec GlobalModel
+	if err := dec.UnmarshalBinary(want); err != nil {
+		t.Fatalf("UnmarshalBinary(golden): %v", err)
+	}
+	if !reflect.DeepEqual(&dec, goldenGlobalModel()) {
+		t.Fatalf("decoded global model differs:\n got  %+v\n want %+v", dec, goldenGlobalModel())
+	}
+}
+
+// bigLocalModel builds a local model with reps 2-dimensional representatives.
+func bigLocalModel(reps int) *LocalModel {
+	m := &LocalModel{
+		SiteID: "site-alloc", Kind: RepScor, EpsLocal: 1, MinPts: 4,
+		NumObjects: reps * 10, NumClusters: 4,
+	}
+	for i := 0; i < reps; i++ {
+		m.Reps = append(m.Reps, Representative{
+			Point:        geom.Point{float64(i), float64(-i)},
+			Eps:          1.5,
+			LocalCluster: 0,
+		})
+	}
+	return m
+}
+
+// TestDecodeAllocsFlat pins the flat-buffer decode: the number of
+// allocations per unmarshal must not grow with the representative count
+// (the seed decoder allocated one Point per rep). The fixed overhead —
+// reps slice, flat coordinate buffer, strings, reader bookkeeping — is
+// bounded by a small constant.
+func TestDecodeAllocsFlat(t *testing.T) {
+	const reps = 512
+	local, err := bigLocalModel(reps).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &GlobalModel{EpsGlobal: 2, MinPtsGlobal: 2, NumClusters: 1}
+	for i := 0; i < reps; i++ {
+		g.Reps = append(g.Reps, GlobalRepresentative{
+			Representative: Representative{Point: geom.Point{float64(i), 1}, Eps: 1, LocalCluster: 0},
+			SiteID:         fmt.Sprintf("site-%d", i%4),
+			GlobalCluster:  0,
+		})
+	}
+	global, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Far below one allocation per rep; generous against small runtime and
+	// map-sizing variations.
+	const maxAllocs = 32
+
+	localAllocs := testing.AllocsPerRun(20, func() {
+		var m LocalModel
+		if err := m.UnmarshalBinary(local); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if localAllocs > maxAllocs {
+		t.Errorf("local decode: %.0f allocs for %d reps, want ≤ %d (per-rep coordinate allocation crept back in?)",
+			localAllocs, reps, maxAllocs)
+	}
+
+	globalAllocs := testing.AllocsPerRun(20, func() {
+		var m GlobalModel
+		if err := m.UnmarshalBinary(global); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if globalAllocs > maxAllocs {
+		t.Errorf("global decode: %.0f allocs for %d reps, want ≤ %d (per-rep coordinate or site-id allocation crept back in?)",
+			globalAllocs, reps, maxAllocs)
+	}
+
+	// Marshal is one buffer allocation.
+	src := bigLocalModel(reps)
+	marshalAllocs := testing.AllocsPerRun(20, func() {
+		if _, err := src.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if marshalAllocs > 1 {
+		t.Errorf("local marshal: %.0f allocs, want ≤ 1 (exact presize lost?)", marshalAllocs)
+	}
+}

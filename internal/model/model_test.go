@@ -198,11 +198,11 @@ func TestUnmarshalRejectsHugeCounts(t *testing.T) {
 	w.i32(1)
 	w.u32(1 << 31)
 	var m LocalModel
-	if err := m.UnmarshalBinary(w.buf.Bytes()); err == nil {
+	if err := m.UnmarshalBinary(w.buf); err == nil {
 		t.Fatal("huge rep count accepted")
 	}
 	if !strings.Contains(func() string {
-		err := m.UnmarshalBinary(w.buf.Bytes())
+		err := m.UnmarshalBinary(w.buf)
 		return err.Error()
 	}(), "") {
 		t.Fatal("unreachable")

@@ -86,9 +86,73 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 }
 
+// TestLoadgenOpenLoop boots a server and drives it with a modest Poisson
+// arrival rate: the run must achieve a rate in the ballpark of the target
+// (the server is local and far faster than 200 req/s), report open-loop
+// bookkeeping, and emit the open-loop benchio entry.
+func TestLoadgenOpenLoop(t *testing.T) {
+	srv, reg, _ := startTestServer(t, 0)
+	pts, global := buildTestModel(t, model.RepScor, 42)
+	if _, err := reg.Publish(global); err != nil {
+		t.Fatal(err)
+	}
+	const target = 200.0
+	res, err := RunLoad(LoadConfig{
+		Addr:        srv.Addr(),
+		Concurrency: 4,
+		Duration:    500 * time.Millisecond,
+		BatchSize:   1,
+		Points:      pts,
+		Timeout:     5 * time.Second,
+		Rate:        target,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad(open): %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors against a healthy server", res.Errors)
+	}
+	// Poisson arrivals over 0.5s at 200/s give ~100 requests; allow wide
+	// slack for scheduler noise but reject a loop that ran closed (a local
+	// server would then complete tens of thousands).
+	if res.Requests < 20 || res.Requests > 400 {
+		t.Fatalf("achieved %d requests for target %.0f req/s over %s", res.Requests, target, res.Elapsed)
+	}
+	if got := res.QPS(); got > 2*target {
+		t.Fatalf("achieved rate %.0f far above open-loop target %.0f", got, target)
+	}
+	if res.ArrivalsDropped != 0 {
+		t.Fatalf("healthy local server shed %d arrivals", res.ArrivalsDropped)
+	}
+	if s := res.String(); !strings.Contains(s, "open loop: target 200") {
+		t.Fatalf("summary misses open-loop section: %q", s)
+	}
+	rep := res.BenchReport("test-rev")
+	e := rep.Entries[0]
+	if !strings.HasPrefix(e.Name, "LoadgenClassifyOpen/rate=200/") {
+		t.Fatalf("entry name %q", e.Name)
+	}
+	for _, k := range []string{"target-rate", "achieved-rate", "max-queue", "dropped"} {
+		if _, ok := e.Metrics[k]; !ok {
+			t.Fatalf("metric %q missing from open-loop report", k)
+		}
+	}
+	if e.Metrics["target-rate"] != target {
+		t.Fatalf("target-rate metric %v, want %v", e.Metrics["target-rate"], target)
+	}
+}
+
 // TestLoadgenValidation: bad configs fail fast, an unreachable server
 // fails with zero successes instead of hanging.
 func TestLoadgenValidation(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{
+		Addr:   "127.0.0.1:1",
+		Points: []geom.Point{{0, 0}},
+		Rate:   -1,
+	}); err == nil {
+		t.Error("negative rate accepted")
+	}
 	if _, err := RunLoad(LoadConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
