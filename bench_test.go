@@ -564,4 +564,32 @@ func BenchmarkLocalClustering(b *testing.B) {
 			runOnce(b, idx, o)
 		})
 	}
+	// SDBDC representative budgets: the full LocalStep (clustering,
+	// condensation, greedy budget selection) with a per-cluster cap, on the
+	// paper-sized site. budget=0 is the unbudgeted baseline, so BENCH_*.json
+	// records the selector's overhead next to the uplink bytes it saves;
+	// coverage-fraction shows the quality headroom the budget leaves.
+	budgetDS := lib.DatasetA(8_700, 1)
+	for _, budget := range []int{0, 16, 4} {
+		b.Run(fmt.Sprintf("budget/b=%d", budget), func(b *testing.B) {
+			cfg := lib.Config{
+				Local:     budgetDS.Params,
+				Index:     index.KindKDTree,
+				RepBudget: budget,
+			}
+			b.ReportAllocs()
+			var out *lib.LocalOutcome
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = lib.LocalStep("bench-site", budgetDS.Points, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(out.Budget.CoverageFraction(), "coverage-fraction")
+			b.ReportMetric(float64(out.Model.EncodedSize()), "uplink-bytes")
+		})
+	}
 }

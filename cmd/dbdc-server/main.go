@@ -53,6 +53,7 @@ func main() {
 	quorum := flag.Int("quorum", 0, "minimum usable site models per round; 0 = proceed with any")
 	acceptTimeout := flag.Duration("accept-timeout", 0, "accept-phase deadline per round; 0 = -timeout")
 	expectSites := flag.String("expect-sites", "", "comma-separated site ids for per-name failure reporting")
+	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "upload byte cap advertised to budget-handshaking sites (0 = no cap); handshaking sites shrink their rep budget until the model frame fits")
 	reportJSON := flag.String("report-json", "", "write the per-round phase breakdown as a benchio JSON report to this file (\"-\" = stdout)")
 	rev := flag.String("rev", "", "source revision recorded in the JSON report")
 	serveClassify := flag.String("serve-classify", "", "serve online classification on this address (e.g. :7072); every completed round hot-swaps the model, and the server keeps answering after the last round until killed")
@@ -74,6 +75,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
+	srv.SetMaxUploadBytes(*maxUploadBytes)
 
 	// Online classification: completed rounds publish their global model
 	// into a versioned registry; a front end answers MsgClassify frames

@@ -12,6 +12,13 @@
 // and attached to the upload so the server's round report can show the
 // paper's max(local)+global decomposition.
 //
+// -rep-budget caps the representatives shipped per local cluster (the
+// SDBDC bandwidth budget, docs/budgets.md): the site greedily keeps the
+// most-covering specific cores, negotiates the server's upload byte cap via
+// the MsgHello handshake and shrinks further if the model still does not
+// fit. 0 keeps the paper's unbudgeted upload, byte-identical to older
+// builds.
+//
 // With -serve-classify the site keeps running after the round and labels
 // new points online against the received global model (the paper's "new
 // objects are inserted by classifying them against the representatives");
@@ -41,6 +48,7 @@ func main() {
 	minPts := flag.Int("minpts", 0, "DBSCAN MinPts (required)")
 	modelKind := flag.String("model", string(lib.RepScor), "local model: rep-scor or rep-kmeans")
 	workers := flag.Int("workers", 1, "intra-site DBSCAN workers (>1 selects the parallel kernel, 0 = GOMAXPROCS-sized)")
+	repBudget := flag.Int("rep-budget", 0, "max representatives shipped per local cluster (SDBDC budget; 0 = unbudgeted)")
 	out := flag.String("o", "", "output file for global labels (default stdout)")
 	timeout := flag.Duration("timeout", 30*time.Second, "I/O timeout")
 	retries := flag.Int("retries", 3, "max upload attempts on transient failures (1 = no retry)")
@@ -72,6 +80,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *repBudget < 0 {
+		fmt.Fprintf(os.Stderr, "dbdc-site: negative -rep-budget %d\n", *repBudget)
+		flag.Usage()
+		os.Exit(2)
+	}
 	f, err := os.Open(*input)
 	if err != nil {
 		fatal(err)
@@ -89,6 +102,7 @@ func main() {
 		Local:       lib.Params{Eps: *eps, MinPts: *minPts},
 		Model:       kind,
 		SiteWorkers: siteWorkers,
+		RepBudget:   *repBudget,
 	}
 	client := &lib.TransportClient{
 		Addr:               *addr,
@@ -126,6 +140,19 @@ func main() {
 		*id, len(pts), report.Global.NumClusters, report.Stats.NoiseAdopted,
 		report.BytesSent, report.BytesReceived, report.Attempts)
 	fmt.Fprintf(os.Stderr, "dbdc-site %s: phases: %s\n", *id, report.Phases.String())
+	if *repBudget > 0 {
+		neg := report.Negotiation
+		capStr := "none"
+		if neg.Acked {
+			capStr = fmt.Sprintf("%dB", neg.MaxUploadBytes)
+			if neg.MaxUploadBytes == 0 {
+				capStr = "unlimited"
+			}
+		}
+		fmt.Fprintf(os.Stderr,
+			"dbdc-site %s: budget: configured=%d shipped=%d dropped=%d coverage=%.3f server-cap=%s\n",
+			*id, *repBudget, neg.Budget, neg.Stats.Dropped(), neg.Stats.CoverageFraction(), capStr)
+	}
 	// Online classification against the freshly received global model: the
 	// site publishes it into a local registry and answers MsgClassify
 	// frames until killed. A future round (re-running the site) would

@@ -224,6 +224,22 @@ type AttemptStats = transport.AttemptStats
 // model upload and echoed in the server's RoundReport.
 type SitePhases = transport.SitePhases
 
+// BudgetStats is the coverage accounting of the SDBDC representative
+// budget: how many specific cores the budget dropped and what fraction of
+// the clustered objects the survivors still cover. Produced per site when
+// Config.RepBudget > 0.
+type BudgetStats = dbscan.BudgetStats
+
+// SiteBudget is the budget accounting a budgeted site attaches to its
+// upload, echoed per site in the server's RoundReport.
+type SiteBudget = transport.SiteBudget
+
+// Negotiation describes how the budget handshake of a budgeted networked
+// round ended: whether the server acked, its advertised upload byte cap,
+// and the budget the shipped model ended up with after any cap-driven
+// shrink.
+type Negotiation = transport.Negotiation
+
 // NewServer listens for one round of expect site connections.
 func NewServer(addr string, expect int, cfg Config, timeout time.Duration) (*Server, error) {
 	return transport.NewServer(addr, expect, cfg, timeout)

@@ -63,6 +63,15 @@ type Config struct {
 	// max(local) + global faithfully models sites running on separate
 	// machines even when the experiment host has few cores.
 	Sequential bool
+	// RepBudget caps the number of representatives a site ships per local
+	// cluster (the SDBDC follow-up, PKDD 2004): at most RepBudget specific
+	// cores per cluster, greedily selected to maximize the fraction of
+	// cluster members still covered by the transmitted model
+	// (dbscan.BudgetScor). 0 keeps the paper's unbudgeted local model —
+	// byte-identical on the wire to a build without the knob. For
+	// REP_kMeans the budget bounds the seed set, so k = min(RepBudget,
+	// |Scor_C|) centroids are shipped per cluster.
+	RepBudget int
 	// SiteWorkers is the per-site worker budget for the local DBSCAN runs:
 	// values above 1 select dbscan.RunParallel with that many goroutines
 	// per site, so one large site no longer bottlenecks a round on a single
@@ -106,6 +115,9 @@ func (c Config) Validate() error {
 	}
 	if c.SiteWorkers < 0 {
 		return fmt.Errorf("dbdc: negative SiteWorkers %d", c.SiteWorkers)
+	}
+	if c.RepBudget < 0 {
+		return fmt.Errorf("dbdc: negative RepBudget %d", c.RepBudget)
 	}
 	return nil
 }

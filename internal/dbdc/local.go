@@ -44,6 +44,17 @@ type LocalOutcome struct {
 	Model *model.LocalModel
 	// Timings is the per-phase cost breakdown of this LocalStep.
 	Timings LocalTimings
+	// RepBudget is the per-cluster representative budget the model was
+	// built under (Config.RepBudget; 0 = unbudgeted), and Budget the
+	// selector's coverage accounting. For an unbudgeted outcome Budget is
+	// the zero value — no selection ran, nothing was dropped.
+	RepBudget int
+	Budget    dbscan.BudgetStats
+
+	// cfg is the resolved configuration the outcome was produced under,
+	// retained so BudgetedModel can re-condense the clustering at a
+	// different budget during transport negotiation.
+	cfg Config
 }
 
 // LocalStep performs steps 1 and 2 of DBDC on one site: cluster the local
@@ -96,6 +107,38 @@ func localStepFrom(siteID string, pts []geom.Point, idx index.Index, cfg Config,
 		timings.Workers = 1
 	}
 	condenseStart := time.Now()
+	m, stats, err := buildLocalModel(siteID, pts, res, cfg, cfg.RepBudget)
+	if err != nil {
+		return nil, err
+	}
+	timings.Condense = time.Since(condenseStart)
+	return &LocalOutcome{
+		SiteID:     siteID,
+		Points:     pts,
+		Clustering: res,
+		Model:      m,
+		Timings:    timings,
+		RepBudget:  cfg.RepBudget,
+		Budget:     stats,
+		cfg:        cfg,
+	}, nil
+}
+
+// buildLocalModel condenses a clustering into the local model under the
+// given per-cluster representative budget (0 = unbudgeted, the byte-exact
+// historical output). The budgeted path never mutates res: the selector
+// returns a fresh Scor map that a shallow result copy carries into the
+// condensation.
+func buildLocalModel(siteID string, pts []geom.Point, res *dbscan.Result, cfg Config, budget int) (*model.LocalModel, dbscan.BudgetStats, error) {
+	var stats dbscan.BudgetStats
+	condensed := res
+	if budget > 0 {
+		scor, s := dbscan.BudgetScor(pts, res, geom.Euclidean{}, budget)
+		stats = s
+		b := *res
+		b.Scor = scor
+		condensed = &b
+	}
 	m := &model.LocalModel{
 		SiteID:      siteID,
 		Kind:        cfg.Model,
@@ -104,17 +147,45 @@ func localStepFrom(siteID string, pts []geom.Point, idx index.Index, cfg Config,
 		NumObjects:  len(pts),
 		NumClusters: res.NumClusters(),
 	}
+	var err error
 	switch cfg.Model {
 	case model.RepScor:
-		m.Reps = scorReps(pts, res)
+		m.Reps = scorReps(pts, condensed)
 	case model.RepKMeans:
-		m.Reps, err = kmeansReps(pts, res, cfg.KMeansMaxIter)
+		m.Reps, err = kmeansReps(pts, condensed, cfg.KMeansMaxIter)
 		if err != nil {
-			return nil, fmt.Errorf("dbdc: site %s: %w", siteID, err)
+			return nil, stats, fmt.Errorf("dbdc: site %s: %w", siteID, err)
 		}
 	}
-	timings.Condense = time.Since(condenseStart)
-	return &LocalOutcome{SiteID: siteID, Points: pts, Clustering: res, Model: m, Timings: timings}, nil
+	return m, stats, nil
+}
+
+// BudgetedModel re-condenses the outcome's clustering under a different
+// per-cluster representative budget, without re-running DBSCAN. The
+// transport layer uses it to shrink a site's upload until it fits a
+// server-advertised byte cap; budget 0 rebuilds the unbudgeted model. The
+// outcome itself (Model, Budget) is not modified.
+func (o *LocalOutcome) BudgetedModel(budget int) (*model.LocalModel, dbscan.BudgetStats, error) {
+	if budget < 0 {
+		return nil, dbscan.BudgetStats{}, fmt.Errorf("dbdc: site %s: negative budget %d", o.SiteID, budget)
+	}
+	if budget == o.RepBudget && o.Model != nil {
+		return o.Model, o.Budget, nil
+	}
+	return buildLocalModel(o.SiteID, o.Points, o.Clustering, o.cfg, budget)
+}
+
+// MaxScorPerCluster returns the size of the largest unbudgeted specific
+// core set over the outcome's clusters — the budget above which budgeting
+// is the identity, and the natural upper bound of a shrink search.
+func (o *LocalOutcome) MaxScorPerCluster() int {
+	max := 0
+	for _, scor := range o.Clustering.Scor {
+		if len(scor) > max {
+			max = len(scor)
+		}
+	}
+	return max
 }
 
 // scorReps builds the REP_Scor local model (Section 5.1): the specific core

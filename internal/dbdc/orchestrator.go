@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/dbdc-go/dbdc/internal/cluster"
+	"github.com/dbdc-go/dbdc/internal/dbscan"
 	"github.com/dbdc-go/dbdc/internal/geom"
 	"github.com/dbdc-go/dbdc/internal/model"
 )
@@ -34,6 +35,9 @@ type SiteResult struct {
 	// DownlinkBytes of the received global model.
 	UplinkBytes   int
 	DownlinkBytes int
+	// Budget is the representative-budget accounting of the site's local
+	// model (zero value when Config.RepBudget was unset).
+	Budget dbscan.BudgetStats
 }
 
 // Result is the outcome of a full DBDC run.
@@ -195,6 +199,7 @@ func Run(sites []Site, cfg Config) (*Result, error) {
 			Outcome:       r.outcome,
 			LocalDuration: r.dur,
 			UplinkBytes:   r.outcome.Model.EncodedSize(),
+			Budget:        r.outcome.Budget,
 		}
 		models = append(models, r.outcome.Model)
 	}

@@ -353,3 +353,44 @@ func TestIncrementalShape(t *testing.T) {
 		t.Fatalf("epoch 1 uploads = %s", got)
 	}
 }
+
+func TestBudgetsShape(t *testing.T) {
+	tbl, err := Budgets(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(budgetSweep); len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
+	}
+	for r := range tbl.Rows {
+		budget := cell(tbl, r, "budget")
+		frac := cellFloat(t, tbl, r, "of-unbudgeted")
+		if budget == "off" {
+			// The unbudgeted row is its own baseline by construction.
+			if frac != 100.0 {
+				t.Fatalf("row %d: unbudgeted uplink fraction %v != 100", r, frac)
+			}
+		} else if frac <= 0 || frac > 100 {
+			t.Fatalf("row %d (budget %s): uplink fraction %v outside (0, 100]", r, budget, frac)
+		}
+		for _, col := range []string{"P^I", "P^II"} {
+			if v := cellFloat(t, tbl, r, col); v < 0 || v > 100 {
+				t.Fatalf("row %d: %s = %v", r, col, v)
+			}
+		}
+		if v := cellFloat(t, tbl, r, "coverage"); v < 0 || v > 1 {
+			t.Fatalf("row %d: coverage %v outside [0, 1]", r, v)
+		}
+	}
+	// Within a dataset, tightening the budget must never increase the
+	// uplink: each row's byte count is bounded by the row above it.
+	for r := 1; r < len(tbl.Rows); r++ {
+		if cell(tbl, r, "dataset") != cell(tbl, r-1, "dataset") {
+			continue
+		}
+		if cellFloat(t, tbl, r, "uplink[B]") > cellFloat(t, tbl, r-1, "uplink[B]") {
+			t.Fatalf("row %d: uplink grew as the budget tightened (%s > %s)",
+				r, cell(tbl, r, "uplink[B]"), cell(tbl, r-1, "uplink[B]"))
+		}
+	}
+}

@@ -273,6 +273,22 @@ func (f *firstByteReader) Read(p []byte) (int, error) {
 // reports its per-phase timings.
 func (c *Client) exchangeOnce(payload []byte, timed bool) (*model.GlobalModel, AttemptStats, error) {
 	var as AttemptStats
+	conn, err := c.dialAttempt(&as)
+	if err != nil {
+		return nil, as, err
+	}
+	defer conn.Close()
+	msgOut := MsgLocalModel
+	if timed {
+		msgOut = MsgLocalModelTimed
+	}
+	global, err := c.uploadAndReceive(conn, msgOut, payload, &as)
+	return global, as, err
+}
+
+// dialAttempt opens the attempt's connection, records the dial cost and
+// arms the I/O deadline.
+func (c *Client) dialAttempt(as *AttemptStats) (net.Conn, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
@@ -281,34 +297,36 @@ func (c *Client) exchangeOnce(payload []byte, timed bool) (*model.GlobalModel, A
 	conn, err := c.dial()
 	as.Dial = time.Since(dialStart)
 	if err != nil {
-		return nil, as, err
+		return nil, err
 	}
-	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(timeout))
-	msgOut := MsgLocalModel
-	if timed {
-		msgOut = MsgLocalModelTimed
-	}
+	return conn, nil
+}
+
+// uploadAndReceive writes the model frame on an established connection and
+// reads the server's reply, accumulating the attempt's wire and timing
+// stats.
+func (c *Client) uploadAndReceive(conn net.Conn, msgOut byte, payload []byte, as *AttemptStats) (*model.GlobalModel, error) {
 	uploadStart := time.Now()
 	sent, err := WriteFrame(conn, msgOut, payload)
-	as.Upload = time.Since(uploadStart)
-	as.BytesSent = sent
+	as.Upload += time.Since(uploadStart)
+	as.BytesSent += sent
 	if err != nil {
-		return nil, as, err
+		return nil, err
 	}
 	waitStart := time.Now()
 	fbr := &firstByteReader{r: conn}
 	msgType, reply, received, err := ReadFrame(fbr)
 	replyEnd := time.Now()
 	if fbr.first.IsZero() {
-		as.ServerWait = replyEnd.Sub(waitStart)
+		as.ServerWait += replyEnd.Sub(waitStart)
 	} else {
-		as.ServerWait = fbr.first.Sub(waitStart)
-		as.Download = replyEnd.Sub(fbr.first)
+		as.ServerWait += fbr.first.Sub(waitStart)
+		as.Download += replyEnd.Sub(fbr.first)
 	}
-	as.BytesReceived = received
+	as.BytesReceived += received
 	if err != nil {
-		return nil, as, err
+		return nil, err
 	}
 	switch msgType {
 	case MsgGlobalModel:
@@ -316,16 +334,16 @@ func (c *Client) exchangeOnce(payload []byte, timed bool) (*model.GlobalModel, A
 		if err := global.UnmarshalBinary(reply); err != nil {
 			// The payload passed the CRC, so this is a server-side
 			// encoding problem a retry will reproduce.
-			return nil, as, permanent(err)
+			return nil, permanent(err)
 		}
 		if err := global.Validate(); err != nil {
-			return nil, as, permanent(err)
+			return nil, permanent(err)
 		}
-		return &global, as, nil
+		return &global, nil
 	case MsgError:
-		return nil, as, permanent(fmt.Errorf("transport: server reported: %s", reply))
+		return nil, permanent(fmt.Errorf("transport: server reported: %s", reply))
 	default:
-		return nil, as, permanent(fmt.Errorf("transport: unexpected message type 0x%02x", msgType))
+		return nil, permanent(fmt.Errorf("transport: unexpected message type 0x%02x", msgType))
 	}
 }
 
@@ -357,6 +375,11 @@ type SiteReport struct {
 	// round: local clustering, condensation, upload (per attempt, with
 	// backoff), server wait, download, relabel.
 	Phases PhaseBreakdown
+	// Negotiation describes the budget handshake of a budgeted round
+	// (Config.RepBudget > 0): whether the server acked, the advertised
+	// byte cap, and the budget the shipped model ended up with after any
+	// cap-driven shrink. Zero value for unbudgeted rounds.
+	Negotiation Negotiation
 }
 
 // RunSite executes the full site-side DBDC pipeline against a remote
@@ -382,7 +405,20 @@ func RunSiteClient(c *Client, siteID string, pts []geom.Point, cfg dbdc.Config) 
 		Cluster:  outcome.Timings.Cluster,
 		Condense: outcome.Timings.Condense,
 	}
-	global, stats, err := c.SendModelTimed(outcome.Model, &phases)
+	// A budgeted site goes through the negotiating upload (handshake,
+	// cap-driven shrink, budget accounting section); an unbudgeted one
+	// takes the historical timed path so its wire bytes stay identical to
+	// builds that predate the budget feature.
+	var (
+		global *model.GlobalModel
+		stats  SendStats
+		neg    Negotiation
+	)
+	if cfg.RepBudget > 0 {
+		global, stats, neg, err = c.SendModelBudgeted(outcome, &phases)
+	} else {
+		global, stats, err = c.SendModelTimed(outcome.Model, &phases)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -412,5 +448,6 @@ func RunSiteClient(c *Client, siteID string, pts []geom.Point, cfg dbdc.Config) 
 		BytesReceived: stats.BytesReceived,
 		Attempts:      stats.Attempts,
 		Phases:        breakdown,
+		Negotiation:   neg,
 	}, nil
 }

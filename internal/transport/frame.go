@@ -41,6 +41,21 @@ const (
 	// fallback; see Client.SendModelTimed).
 	MsgLocalModelTimed byte = 0x08
 
+	// MsgHello opens an optional pre-upload handshake on a round
+	// connection: a budgeted site announces itself and asks for the
+	// server's upload constraints before committing bytes to the wire. The
+	// payload is a section area (see budget.go) so either side can grow
+	// the handshake without a new message type. Servers that predate the
+	// handshake reject the unknown type by closing the connection, which
+	// the client treats as "no constraints, no ack" and downgrades — the
+	// same negotiation-by-fallback path MsgLocalModelTimed established.
+	// (0x10/0x11 belong to the site query server — see query.go.)
+	MsgHello byte = 0x30
+	// MsgHelloAck answers MsgHello. Its sectioned payload advertises the
+	// server's upload byte cap (sectionBudgetCap); an empty section area
+	// means no constraints.
+	MsgHelloAck byte = 0x31
+
 	// Classification protocol (the read side served by internal/serve):
 	// requests classify arbitrary points against the currently published
 	// global model. The payload of both request types is an EncodePoints

@@ -98,31 +98,29 @@ func parseSitePhasesBody(body []byte) (SitePhases, bool) {
 }
 
 // parseSections walks the section area of a timed upload and returns the
-// site phases section when present. Unknown sections are skipped; a
-// malformed section area (truncated header or body) is an error — the
-// bytes passed the frame CRC, so truncation here means a broken encoder,
-// not line noise.
-func parseSections(data []byte) (*SitePhases, error) {
+// site phases and budget sections when present. Unknown sections are
+// skipped (walkSections); a malformed section area (truncated header or
+// body) is an error — the bytes passed the frame CRC, so truncation here
+// means a broken encoder, not line noise.
+func parseSections(data []byte) (*SitePhases, *SiteBudget, error) {
 	var phases *SitePhases
-	for len(data) > 0 {
-		if len(data) < sectionHeaderSize {
-			return nil, fmt.Errorf("transport: truncated section header: %d trailing bytes", len(data))
-		}
-		id := data[0]
-		n := int(binary.LittleEndian.Uint32(data[1:5]))
-		data = data[sectionHeaderSize:]
-		if n > len(data) {
-			return nil, fmt.Errorf("transport: section 0x%02x advertises %d bytes, %d remain", id, n, len(data))
-		}
-		body := data[:n]
-		data = data[n:]
-		if id == sectionSitePhases {
+	var budget *SiteBudget
+	err := walkSections(data, func(id byte, body []byte) {
+		switch id {
+		case sectionSitePhases:
 			if p, ok := parseSitePhasesBody(body); ok {
 				phases = &p
 			}
+		case sectionSiteBudget:
+			if b, ok := parseSiteBudgetBody(body); ok {
+				budget = &b
+			}
 		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return phases, nil
+	return phases, budget, nil
 }
 
 // AttemptStats describes one connection attempt of a SendModel call.
@@ -132,6 +130,10 @@ type AttemptStats struct {
 	// Timed reports whether the attempt used the MsgLocalModelTimed
 	// sectioned upload (false after a legacy downgrade).
 	Timed bool
+	// Negotiated reports whether the attempt opened with the
+	// MsgHello/MsgHelloAck budget handshake (false after a handshake
+	// downgrade).
+	Negotiated bool
 	// Backoff is the retry delay slept before this attempt (0 for the
 	// first).
 	Backoff time.Duration
@@ -221,6 +223,11 @@ func (r *RoundReport) BenchReport(rev, prefix string) *benchio.Report {
 			e.Metrics["cluster-ns"] = float64(p.Cluster.Nanoseconds())
 			e.Metrics["condense-ns"] = float64(p.Condense.Nanoseconds())
 			e.Metrics["backoff-ns"] = float64(p.Backoff.Nanoseconds())
+		}
+		if bd := site.Budget; bd != nil {
+			e.Metrics["rep-budget"] = float64(bd.RepBudget)
+			e.Metrics["reps-dropped"] = float64(bd.RepsDropped)
+			e.Metrics["coverage-fraction"] = bd.CoverageFraction
 		}
 		rep.Entries = append(rep.Entries, e)
 	}

@@ -30,9 +30,28 @@ type Server struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 
+	// maxUploadBytes is the per-upload byte cap advertised to handshaking
+	// clients (see SetMaxUploadBytes); 0 means unconstrained.
+	maxUploadBytes int64
+
 	// onGlobal, when set, receives every freshly computed global model
 	// (see SetOnGlobal).
 	onGlobal func(*model.GlobalModel)
+}
+
+// SetMaxUploadBytes sets the upload byte cap the server advertises in the
+// MsgHelloAck of the budget handshake: a handshaking site must keep its
+// model frame (header included) at or under n bytes, shrinking its
+// representative budget until it fits; uploads that exceed the advertised
+// cap anyway are rejected. n ≤ 0 removes the constraint. The cap binds only
+// connections that performed the handshake — legacy clients never promised
+// anything and keep working unchanged. Like SetOnGlobal, set it once after
+// NewServer, not concurrently with a running round.
+func (s *Server) SetMaxUploadBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxUploadBytes = n
 }
 
 // SetOnGlobal registers a sink that receives every global model a round
@@ -131,6 +150,12 @@ type SiteOutcome struct {
 	// optional metrics section of a MsgLocalModelTimed upload. Nil when
 	// the client sent the legacy frame.
 	Phases *SitePhases
+	// Budget is the representative-budget accounting of a budgeted
+	// upload (sectionSiteBudget); nil for unbudgeted or legacy uploads.
+	Budget *SiteBudget
+	// Negotiated reports whether the connection performed the
+	// MsgHello/MsgHelloAck budget handshake before uploading.
+	Negotiated bool
 }
 
 // RoundReport describes how a round went, site by site.
@@ -205,6 +230,13 @@ func (r *RoundReport) String() string {
 					p.Workers, p.Cluster.Round(time.Microsecond),
 					p.Condense.Round(time.Microsecond), p.Backoff.Round(time.Microsecond))
 			}
+			if bd := site.Budget; bd != nil {
+				fmt.Fprintf(&b, " budget=%d dropped=%d coverage=%.3f",
+					bd.RepBudget, bd.RepsDropped, bd.CoverageFraction)
+				if site.Negotiated {
+					b.WriteString(" negotiated")
+				}
+			}
 		} else {
 			addr := site.Addr
 			if addr == "" {
@@ -227,26 +259,56 @@ func (r *RoundReport) String() string {
 
 // readResult is what the per-connection reader goroutine delivers.
 type readResult struct {
-	conn   net.Conn
-	addr   string
-	siteID string // best effort on failures
-	m      *model.LocalModel
-	phases *SitePhases // client-reported metrics, nil for legacy uploads
-	err    error
-	bytes  int
-	dur    time.Duration
+	conn       net.Conn
+	addr       string
+	siteID     string // best effort on failures
+	m          *model.LocalModel
+	phases     *SitePhases // client-reported metrics, nil for legacy uploads
+	budget     *SiteBudget // budget accounting, nil for unbudgeted uploads
+	negotiated bool        // connection performed the budget handshake
+	err        error
+	bytes      int
+	dur        time.Duration
 }
 
 // readLocalModel reads and validates one site's model upload. Both the
 // legacy MsgLocalModel frame (the model is the whole payload) and the
 // sectioned MsgLocalModelTimed frame (model followed by optional metric
 // sections) are accepted, so old clients keep working against this server.
+// A connection may open with a MsgHello budget handshake; the server then
+// answers with its upload byte cap and expects the model on the next frame,
+// enforcing the cap it advertised.
 func (s *Server) readLocalModel(conn net.Conn, deadline time.Time, out chan<- readResult) {
 	start := time.Now()
 	res := readResult{conn: conn, addr: conn.RemoteAddr().String()}
 	conn.SetDeadline(deadline)
 	msgType, payload, n, err := ReadFrame(conn)
 	res.bytes = n
+	if err == nil && msgType == MsgHello {
+		// Budget handshake: acknowledge with the advertised cap, then
+		// read the actual upload from the same connection.
+		s.bytesIn.Add(int64(n))
+		if _, herr := parseHello(payload); herr != nil {
+			res.err = herr
+			res.dur = time.Since(start)
+			out <- res
+			return
+		}
+		res.negotiated = true
+		if wn, werr := WriteFrame(conn, MsgHelloAck, encodeHelloAck(s.maxUploadBytes)); werr != nil {
+			res.err = fmt.Errorf("transport: writing hello ack: %w", werr)
+			res.dur = time.Since(start)
+			out <- res
+			return
+		} else {
+			s.bytesOut.Add(int64(wn))
+		}
+		msgType, payload, n, err = ReadFrame(conn)
+		res.bytes += n
+	}
+	if err == nil && res.negotiated && s.maxUploadBytes > 0 && int64(n) > s.maxUploadBytes {
+		err = fmt.Errorf("transport: upload of %d bytes exceeds the advertised cap of %d", n, s.maxUploadBytes)
+	}
 	if err != nil {
 		if errors.Is(err, ErrChecksum) && len(payload) > 0 {
 			// Best-effort naming of the site behind the corrupt
@@ -278,12 +340,13 @@ func (s *Server) readLocalModel(conn net.Conn, deadline time.Time, out chan<- re
 		res.err = fmt.Errorf("model: %d trailing bytes after local model", len(payload)-consumed)
 	default:
 		if msgType == MsgLocalModelTimed {
-			phases, serr := parseSections(payload[consumed:])
+			phases, budget, serr := parseSections(payload[consumed:])
 			if serr != nil {
 				res.err = serr
 				break
 			}
 			res.phases = phases
+			res.budget = budget
 		}
 		if verr := m.Validate(); verr != nil {
 			res.err = verr
@@ -539,13 +602,15 @@ func (s *Server) buildReport(start time.Time, quorum int, good map[string]readRe
 		}
 		report.UplinkBytes += r.bytes
 		report.Sites = append(report.Sites, SiteOutcome{
-			SiteID:   id,
-			Addr:     r.addr,
-			OK:       true,
-			Attempts: attempts[id],
-			Bytes:    r.bytes,
-			Duration: r.dur,
-			Phases:   r.phases,
+			SiteID:     id,
+			Addr:       r.addr,
+			OK:         true,
+			Attempts:   attempts[id],
+			Bytes:      r.bytes,
+			Duration:   r.dur,
+			Phases:     r.phases,
+			Budget:     r.budget,
+			Negotiated: r.negotiated,
 		})
 	}
 	// Connection failures whose site later succeeded are folded into the
