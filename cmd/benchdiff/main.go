@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/dbdc-go/dbdc/internal/benchio"
 )
@@ -69,6 +70,12 @@ func main() {
 	})
 	fmt.Printf("benchdiff: %s (rev %s) vs %s (rev %s)\n",
 		oldPath, revOr(oldRep.Rev), newPath, revOr(newRep.Rev))
+	fmt.Printf("old host: %s\n", oldRep.Host())
+	fmt.Printf("new host: %s\n", newRep.Host())
+	if mismatch := benchio.HostMismatch(oldRep, newRep); len(mismatch) > 0 {
+		fmt.Printf("WARNING: artifacts differ in %s — deltas are not comparable measurements\n",
+			strings.Join(mismatch, ", "))
+	}
 	fmt.Print(res)
 	if *failOnRegression && res.Regressions > 0 {
 		os.Exit(1)

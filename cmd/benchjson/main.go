@@ -18,13 +18,26 @@ import (
 	"runtime"
 
 	"github.com/dbdc-go/dbdc/internal/benchio"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/profiles"
 )
 
 func main() {
 	rev := flag.String("rev", "", "source revision recorded in the report (git short hash)")
 	out := flag.String("out", "", "output file (default BENCH_<rev>.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of this run to the file")
+	memProfile := flag.String("memprofile", "", "write a heap profile of this run to the file")
 	flag.Parse()
-	if err := run(*rev, *out); err != nil {
+	stop, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	err = run(*rev, *out)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -49,6 +62,15 @@ func run(rev, out string) error {
 	rep.Rev = rev
 	rep.NumCPU = runtime.NumCPU()
 	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.KernelDispatch = geom.KernelDispatch()
+	// The goos/goarch headers normally come from the benchmark text; fall
+	// back to this process's runtime when the input lacked them.
+	if rep.GoOS == "" {
+		rep.GoOS = runtime.GOOS
+	}
+	if rep.GoArch == "" {
+		rep.GoArch = runtime.GOARCH
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err

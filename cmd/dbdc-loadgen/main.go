@@ -33,8 +33,13 @@ import (
 	"github.com/dbdc-go/dbdc/internal/benchio"
 	"github.com/dbdc-go/dbdc/internal/data"
 	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/profiles"
 	"github.com/dbdc-go/dbdc/internal/serve"
 )
+
+// stopProfiles finalizes any pprof captures; fatal routes through it so the
+// profile files are complete even when the run aborts.
+var stopProfiles func() error
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7072", "classification front end address")
@@ -49,7 +54,15 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "dial and per-request I/O timeout")
 	reportJSON := flag.String("report-json", "", "write the run as a benchio JSON report to this file (\"-\" = stdout)")
 	rev := flag.String("rev", "", "source revision recorded in the JSON report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the load run to the file")
+	memProfile := flag.String("memprofile", "", "write a heap profile of the load run to the file")
 	flag.Parse()
+
+	stop, err := profiles.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
 
 	pts, err := queryPool(*input, *dataset, *n, *seed)
 	if err != nil {
@@ -89,6 +102,10 @@ func main() {
 			fatal(fmt.Errorf("writing %s: %w", *reportJSON, werr))
 		}
 	}
+	if err := stop(); err != nil {
+		stopProfiles = nil // already finalized; don't run it twice
+		fatal(err)
+	}
 }
 
 // queryPool loads the query points from a CSV or generates a paper dataset,
@@ -115,6 +132,9 @@ func queryPool(input, dataset string, n int, seed int64) ([]geom.Point, error) {
 }
 
 func fatal(err error) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintf(os.Stderr, "dbdc-loadgen: %v\n", err)
 	os.Exit(1)
 }

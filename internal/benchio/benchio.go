@@ -56,9 +56,65 @@ type Report struct {
 	// by cmd/benchjson, not parsed from the text.
 	NumCPU     int `json:"num_cpu,omitempty"`
 	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// KernelDispatch names the distance-kernel build the run measured
+	// (geom.KernelDispatch(): the unrolled dispatch table or "scalar").
+	// Filled by cmd/benchjson; artifacts from different kernel builds are
+	// not comparable and benchdiff warns when the names differ.
+	KernelDispatch string `json:"kernel_dispatch,omitempty"`
 	// Packages lists every pkg: header seen in the input.
 	Packages []string `json:"packages,omitempty"`
 	Entries  []Entry  `json:"entries"`
+}
+
+// Host renders the recorded host metadata in one line — platform, CPU
+// model, core count, GOMAXPROCS, kernel dispatch — omitting fields the
+// report does not carry. cmd/benchdiff prints this for both sides of a
+// comparison so artifacts from different hosts are never silently compared.
+func (r *Report) Host() string {
+	parts := make([]string, 0, 5)
+	if r.GoOS != "" || r.GoArch != "" {
+		parts = append(parts, strings.TrimSuffix(r.GoOS+"/"+r.GoArch, "/"))
+	}
+	if r.CPU != "" {
+		parts = append(parts, r.CPU)
+	}
+	if r.NumCPU > 0 {
+		parts = append(parts, fmt.Sprintf("%d CPU", r.NumCPU))
+	}
+	if r.GoMaxProcs > 0 {
+		parts = append(parts, fmt.Sprintf("GOMAXPROCS %d", r.GoMaxProcs))
+	}
+	if r.KernelDispatch != "" {
+		parts = append(parts, "kernels "+r.KernelDispatch)
+	}
+	if len(parts) == 0 {
+		return "(no host metadata)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// HostMismatch lists the host-metadata fields on which the two reports
+// disagree (both sides present and different). A non-empty result means
+// the artifacts were produced under different conditions and their deltas
+// are not meaningful as measurements.
+func HostMismatch(a, b *Report) []string {
+	var fields []string
+	differ := func(name, x, y string) {
+		if x != "" && y != "" && x != y {
+			fields = append(fields, name)
+		}
+	}
+	differ("goos", a.GoOS, b.GoOS)
+	differ("goarch", a.GoArch, b.GoArch)
+	differ("cpu", a.CPU, b.CPU)
+	differ("kernel dispatch", a.KernelDispatch, b.KernelDispatch)
+	if a.NumCPU > 0 && b.NumCPU > 0 && a.NumCPU != b.NumCPU {
+		fields = append(fields, "cpu count")
+	}
+	if a.GoMaxProcs > 0 && b.GoMaxProcs > 0 && a.GoMaxProcs != b.GoMaxProcs {
+		fields = append(fields, "GOMAXPROCS")
+	}
+	return fields
 }
 
 // Parse reads `go test -bench` text output and returns the report. Lines

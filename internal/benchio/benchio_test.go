@@ -95,3 +95,46 @@ func TestWriteRoundTrip(t *testing.T) {
 		t.Fatal("round trip lost custom metrics")
 	}
 }
+
+func TestHostMetadata(t *testing.T) {
+	a := &Report{
+		GoOS: "linux", GoArch: "amd64", CPU: "Xeon",
+		NumCPU: 8, GoMaxProcs: 8, KernelDispatch: "unrolled[2,3,4,8]+w4",
+	}
+	want := "linux/amd64, Xeon, 8 CPU, GOMAXPROCS 8, kernels unrolled[2,3,4,8]+w4"
+	if got := a.Host(); got != want {
+		t.Errorf("Host() = %q, want %q", got, want)
+	}
+	if got := (&Report{}).Host(); got != "(no host metadata)" {
+		t.Errorf("empty Host() = %q", got)
+	}
+
+	// The round trip keeps the kernel-dispatch field.
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.KernelDispatch != a.KernelDispatch {
+		t.Fatalf("round trip lost kernel dispatch: %+v", back)
+	}
+
+	// Mismatches are reported field by field; absent fields never mismatch.
+	b := &Report{GoOS: "linux", GoArch: "arm64", NumCPU: 4, KernelDispatch: "scalar"}
+	got := HostMismatch(a, b)
+	want2 := []string{"goarch", "kernel dispatch", "cpu count"}
+	if len(got) != len(want2) {
+		t.Fatalf("HostMismatch = %v, want %v", got, want2)
+	}
+	for i := range got {
+		if got[i] != want2[i] {
+			t.Fatalf("HostMismatch = %v, want %v", got, want2)
+		}
+	}
+	if m := HostMismatch(a, a); len(m) != 0 {
+		t.Fatalf("self mismatch: %v", m)
+	}
+}

@@ -50,9 +50,9 @@ func Relabel(pts []geom.Point, global *model.GlobalModel) (cluster.Labeling, err
 		// can hand Relabel anything.
 		return nil, err
 	}
-	var nbuf []int
+	var sc RepScratch
 	for i, p := range pts {
-		labels[i], nbuf = sel.SelectInto(p, nbuf)
+		labels[i] = sel.SelectInto(p, &sc)
 	}
 	return labels, nil
 }

@@ -117,23 +117,42 @@ func (s *RepSelector) NumReps() int { return len(s.reps) }
 // MaxEps returns the candidate-generation radius max ε_r.
 func (s *RepSelector) MaxEps() float64 { return s.maxEps }
 
+// RepScratch holds the reusable per-caller buffers of the selection hot
+// path: the candidate ids of the range query and the distance block of the
+// batched filter. Zero value ready to use; one instance per goroutine
+// (Classifier pools them, Relabel keeps one per worker).
+type RepScratch struct {
+	ids  []int
+	dist []float64
+}
+
 // SelectInto classifies one point under the representative-choice rule,
-// reusing buf for the candidate range query. It returns the global cluster
-// id (or noise) and the possibly regrown buffer. The query point must have
-// the selector's dimensionality; Select validates, SelectInto is the
-// trusted hot path.
-func (s *RepSelector) SelectInto(p geom.Point, buf []int) (cluster.ID, []int) {
+// reusing the scratch buffers across calls. The candidate filter is
+// batched: the range query collects the candidate representatives, one
+// strided kernel sweep computes every candidate distance (bit-identical to
+// the historical per-candidate DistanceSqTo — the same shared kernel body,
+// same operand order), and the choice folds over the distance block in
+// candidate order, so the winner and its tie-breaking are unchanged. The
+// query point must have the selector's dimensionality; Select validates,
+// SelectInto is the trusted hot path.
+func (s *RepSelector) SelectInto(p geom.Point, sc *RepScratch) cluster.ID {
 	if s.idx == nil {
-		return cluster.Noise, buf
+		return cluster.Noise
 	}
-	buf = index.RangeInto(s.idx, p, s.maxEps, buf)
+	sc.ids = index.RangeInto(s.idx, p, s.maxEps, sc.ids)
+	cand := sc.ids
+	if len(cand) == 0 {
+		return cluster.Noise
+	}
+	if cap(sc.dist) < len(cand) {
+		sc.dist = make([]float64, len(cand)+16)
+	}
+	dist := s.store.DistanceSqBatch(p, cand, sc.dist[:len(cand)])
 	best := cluster.Noise
 	bestSq := math.Inf(1)
 	bestRep := math.MaxInt
-	for _, ri := range buf {
-		// Strided store row ri holds a copy of reps[ri].Point; the kernel is
-		// bit-identical to sq.DistanceSq(p, reps[ri].Point).
-		d2 := s.store.DistanceSqTo(ri, p)
+	for k, ri := range cand {
+		d2 := dist[k]
 		if d2 > s.epsSq[ri] {
 			continue // outside r's own ε_r-range
 		}
@@ -141,7 +160,7 @@ func (s *RepSelector) SelectInto(p geom.Point, buf []int) (cluster.ID, []int) {
 			best, bestSq, bestRep = s.reps[ri].GlobalCluster, d2, ri
 		}
 	}
-	return best, buf
+	return best
 }
 
 // Select classifies one point, validating its dimensionality first. This
@@ -158,6 +177,6 @@ func (s *RepSelector) Select(p geom.Point) (cluster.ID, error) {
 	if !p.IsFinite() {
 		return cluster.Noise, fmt.Errorf("dbdc: classify: point has non-finite coordinates")
 	}
-	id, _ := s.SelectInto(p, nil)
-	return id, nil
+	var sc RepScratch
+	return s.SelectInto(p, &sc), nil
 }

@@ -25,12 +25,13 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 	metric := idx.Metric()
 	st := index.StoreOf(idx)
 	if workers <= 1 {
+		var bs batchScratch
 		for i := range r.Core {
 			if r.Core[i] {
-				r.maybeAddSpecificCore(idx, metric, st, r.Labels[i], i)
+				r.maybeAddSpecificCore(idx, metric, st, r.Labels[i], i, &bs)
 			}
 		}
-		r.computeSpecificEps(idx, metric, st)
+		r.computeSpecificEps(idx, metric, st, &bs)
 		return
 	}
 
@@ -83,6 +84,7 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 		go func() {
 			defer wg.Done()
 			var buf []int
+			var bs batchScratch
 			for {
 				c := next()
 				if c < 0 {
@@ -91,20 +93,15 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 				cores := coresByCluster[c]
 				// Definition 6: greedy coverage in ascending core order —
 				// keep a core point iff no already-kept one covers it. The
-				// store path runs the same comparisons through the strided
-				// kernels by id (bit-identical operand/summation order).
+				// store path runs the same comparisons through the batched
+				// kernels by id (identical verdicts; see coveredByStore).
 				var scor []int
 				for _, q := range cores {
 					qp := idx.Point(q)
 					covered := false
 					switch {
 					case st != nil:
-						for _, s := range scor {
-							if st.DistanceSq(s, q) <= eps2 {
-								covered = true
-								break
-							}
-						}
+						covered = coveredByStore(st, bs.grid(cluster.ID(c)), scor, q, r.Params.Eps, eps2, &bs)
 					case hasSq:
 						for _, s := range scor {
 							if sq.DistanceSq(idx.Point(s), qp) <= eps2 {
@@ -132,16 +129,7 @@ func (r *Result) condenseSpecificCores(idx index.Index, workers int) {
 					var maxDist float64
 					switch {
 					case st != nil:
-						var maxSq float64
-						for _, ni := range buf {
-							if ni == s || !r.Core[ni] {
-								continue
-							}
-							if d2 := st.DistanceSq(s, ni); d2 > maxSq {
-								maxSq = d2
-							}
-						}
-						maxDist = math.Sqrt(maxSq)
+						maxDist = math.Sqrt(maxCoreNeighborSq(st, r.Core, buf, s, &bs))
 					case hasSq:
 						var maxSq float64
 						for _, ni := range buf {

@@ -48,19 +48,14 @@ func (Euclidean) Distance(p, q Point) float64 {
 
 // DistanceSq implements SquaredMetric: the squared L2 distance, sqrt-free.
 // Dimensions are validated at index build time (or with -tags
-// dbdc_debugchecks); the q[:len(p)] reslice keeps a shorter q loudly
-// panicking and eliminates bounds checks in the loop.
+// dbdc_debugchecks); a shorter q panics loudly inside the kernel's reslice.
+// The computation is dispatched by stride (see kernels_dispatch.go) and is
+// bit-identical to the scalar loop for every input.
 func (Euclidean) DistanceSq(p, q Point) float64 {
 	if debugChecks {
 		mustSameDim(p, q)
 	}
-	q = q[:len(p)]
-	var sum float64
-	for i := range p {
-		d := p[i] - q[i]
-		sum += d * d
-	}
-	return sum
+	return distSqKernel(p, q)
 }
 
 // Name implements Metric.

@@ -166,7 +166,8 @@ const maxFinite = 1.7976931348623157e308 // math.MaxFloat64, inlined to keep the
 
 // DistanceSq returns the squared Euclidean distance between stored points i
 // and j — the strided counterpart of Euclidean.DistanceSq(Point(i),
-// Point(j)), bit-identical to it (same operand and summation order).
+// Point(j)), bit-identical to it (same operand and summation order; both
+// route through the dispatched kernel, see kernels.go).
 func (s *Store) DistanceSq(i, j int) float64 {
 	if debugChecks {
 		s.mustIndex(i)
@@ -175,13 +176,7 @@ func (s *Store) DistanceSq(i, j int) float64 {
 	d := s.dim
 	a := s.buf[i*d : i*d+d : i*d+d]
 	b := s.buf[j*d : j*d+d : j*d+d]
-	b = b[:len(a)]
-	var sum float64
-	for k := range a {
-		diff := a[k] - b[k]
-		sum += diff * diff
-	}
-	return sum
+	return distSqKernel(a, b)
 }
 
 // DistanceSqTo returns the squared Euclidean distance between the external
@@ -196,13 +191,7 @@ func (s *Store) DistanceSqTo(i int, q Point) float64 {
 	}
 	d := s.dim
 	row := s.buf[i*d : i*d+d : i*d+d]
-	row = row[:len(q)]
-	var sum float64
-	for k := range q {
-		diff := q[k] - row[k]
-		sum += diff * diff
-	}
-	return sum
+	return distSqKernel(q, row)
 }
 
 // BoundingRect returns the smallest rectangle enclosing all stored points

@@ -95,29 +95,42 @@ func TestStoreKernelsSpecialValues(t *testing.T) {
 
 // FuzzStoreDistanceSq fuzzes the bit-identity contract over raw coordinate
 // bits: whatever float64s come in — subnormals, NaN payloads, infinities —
-// the strided kernels and the slice kernels must agree exactly.
+// the strided kernels and the slice kernels must agree exactly. The same
+// six values are additionally rearranged into dim-3 and dim-6 point pairs,
+// so the fully unrolled, width-4 unrolled and scalar-tail dispatch branches
+// are all exercised from the one fuzz corpus.
 func FuzzStoreDistanceSq(f *testing.F) {
 	f.Add(0.0, 0.0, 1.0, 2.0, 3.0, 4.0)
 	f.Add(math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, math.Copysign(0, -1))
 	f.Add(1e308, -1e308, 1e-308, -1e-308, 0.1, 0.2)
 	f.Fuzz(func(t *testing.T, a0, a1, b0, b1, q0, q1 float64) {
-		pts := []Point{{a0, a1}, {b0, b1}}
-		st, err := FromPoints(pts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		e := Euclidean{}
-		q := Point{q0, q1}
-		for i := range pts {
-			if got, want := st.DistanceSqTo(i, q), e.DistanceSq(q, pts[i]); !bitsEq(got, want) {
-				t.Fatalf("DistanceSqTo(%d, q): %x != %x", i, math.Float64bits(got), math.Float64bits(want))
+		vals := []float64{a0, a1, b0, b1, q0, q1}
+		for _, dim := range []int{2, 3, 6} {
+			mk := func(start int) Point {
+				p := make(Point, dim)
+				for d := range p {
+					p[d] = vals[(start+d)%len(vals)]
+				}
+				return p
 			}
-		}
-		if got, want := st.DistanceSq(0, 1), e.DistanceSq(pts[0], pts[1]); !bitsEq(got, want) {
-			t.Fatalf("DistanceSq(0, 1): %x != %x", math.Float64bits(got), math.Float64bits(want))
-		}
-		if got, want := st.DistanceSq(1, 0), e.DistanceSq(pts[1], pts[0]); !bitsEq(got, want) {
-			t.Fatalf("DistanceSq(1, 0): %x != %x", math.Float64bits(got), math.Float64bits(want))
+			pts := []Point{mk(0), mk(2)}
+			st, err := FromPoints(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := Euclidean{}
+			q := mk(4)
+			for i := range pts {
+				if got, want := st.DistanceSqTo(i, q), e.DistanceSq(q, pts[i]); !bitsEq(got, want) {
+					t.Fatalf("dim %d: DistanceSqTo(%d, q): %x != %x", dim, i, math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+			if got, want := st.DistanceSq(0, 1), e.DistanceSq(pts[0], pts[1]); !bitsEq(got, want) {
+				t.Fatalf("dim %d: DistanceSq(0, 1): %x != %x", dim, math.Float64bits(got), math.Float64bits(want))
+			}
+			if got, want := st.DistanceSq(1, 0), e.DistanceSq(pts[1], pts[0]); !bitsEq(got, want) {
+				t.Fatalf("dim %d: DistanceSq(1, 0): %x != %x", dim, math.Float64bits(got), math.Float64bits(want))
+			}
 		}
 	})
 }

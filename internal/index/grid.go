@@ -41,6 +41,15 @@ type gridScratch struct {
 	key            []byte
 }
 
+// gridPruneSlack is the relative FP margin of the cell-prune test: each
+// per-axis gap retreats by this fraction of the participating magnitudes
+// before being compared against eps. Roundings in the cell-assignment chain
+// (subtract, divide, floor) and the distance kernels are bounded by a few
+// ulps ≈ 2e-16 of the operand magnitudes; a 1e-12 retreat out-margins them
+// by orders of magnitude while remaining far too small to admit extra cells
+// on real data (and admitting a cell is only a wasted visit, never an error).
+const gridPruneSlack = 1e-12
+
 // NewGrid builds a grid index with cells sized to the intended query radius
 // eps. Queries with a radius larger than eps remain correct but degrade
 // towards a full scan. eps must be positive and pts non-empty dimensions
@@ -137,6 +146,12 @@ func (g *Grid) Range(q geom.Point, eps float64) []int {
 	return g.RangeAppend(q, eps, nil)
 }
 
+// RangeAppendID implements IDRangeAppender: the query point is addressed by
+// object id, sparing the caller an interface Point round-trip per query.
+func (g *Grid) RangeAppendID(i int, eps float64, buf []int) []int {
+	return g.RangeAppend(g.pts[i], eps, buf)
+}
+
 // RangeAppend implements RangeAppender. The surrounding-cell walk runs on
 // pooled scratch buffers and verifies candidates in squared space when the
 // metric supports it, so steady-state queries allocate nothing.
@@ -156,29 +171,81 @@ func (g *Grid) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	}
 	eps2 := eps * eps
 	useStore := g.euclid && g.store != nil
-	// Odometer walk over the (2·reach+1)^d surrounding cells.
+	// Odometer walk over the (2·reach+1)^d surrounding cells. Cells whose
+	// rectangle provably lies outside the query ball are skipped before the
+	// map lookup: with cells sized for a larger radius than the query's,
+	// most surrounding cells cannot intersect the ball and the walk touches
+	// a fraction of the (2·reach+1)^d candidates.
 	for {
-		key := appendCellKey(s.key[:0], coords)
-		for _, i := range g.cells[string(key)] {
-			p := g.pts[i]
+		// Per-axis gap from q to the cell interval, retreated by an FP
+		// slack covering every rounding in the cell-assignment and distance
+		// chains — pruning can only skip cells no passing candidate can
+		// occupy, so the result set (and its cell order) is identical to
+		// the unpruned walk. A gap beyond eps on any axis rules the cell
+		// out under every supported metric (the per-coordinate difference
+		// lower-bounds each Minkowski distance); under Euclidean the summed
+		// squared gaps prune the diagonal cells too.
+		skip := false
+		var gapSq float64
+		for d := 0; d < g.dim; d++ {
+			lo := g.origin[d] + float64(coords[d])*g.cellSize
+			hi := lo + g.cellSize
+			var gap float64
 			switch {
-			case useStore:
-				// Strided kernel by candidate id — bit-identical to the
-				// Euclidean slice kernel (same operand/summation order).
-				if g.store.DistanceSqTo(i, q) <= eps2 {
-					out = append(out, i)
+			case q[d] < lo:
+				gap = lo - q[d]
+			case q[d] > hi:
+				gap = q[d] - hi
+			}
+			if gap > 0 {
+				gap -= gridPruneSlack * (math.Abs(lo) + math.Abs(hi) + math.Abs(q[d]))
+				if gap > eps {
+					skip = true
+					break
 				}
-			case g.euclid:
-				if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
-					out = append(out, i)
+				if gap > 0 {
+					gapSq += gap * gap
 				}
-			case g.sq != nil:
-				if g.sq.DistanceSq(q, p) <= eps2 {
-					out = append(out, i)
+			}
+		}
+		if skip || (g.euclid && gapSq > eps2) {
+			d := g.dim - 1
+			for d >= 0 {
+				coords[d]++
+				if coords[d] <= center[d]+reach {
+					break
 				}
-			default:
-				if g.metric.Distance(q, p) <= eps {
-					out = append(out, i)
+				coords[d] = center[d] - reach
+				d--
+			}
+			if d < 0 {
+				break
+			}
+			continue
+		}
+		key := appendCellKey(s.key[:0], coords)
+		if useStore {
+			// The cell's id slice IS the candidate batch: one fused kernel
+			// sweep per cell instead of one call per point, identical
+			// decisions to testing DistanceSqTo(i, q) one id at a time,
+			// cell order preserved.
+			out = g.store.VerifyRangeSq(q, g.cells[string(key)], eps2, out)
+		} else {
+			for _, i := range g.cells[string(key)] {
+				p := g.pts[i]
+				switch {
+				case g.euclid:
+					if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
+						out = append(out, i)
+					}
+				case g.sq != nil:
+					if g.sq.DistanceSq(q, p) <= eps2 {
+						out = append(out, i)
+					}
+				default:
+					if g.metric.Distance(q, p) <= eps {
+						out = append(out, i)
+					}
 				}
 			}
 		}

@@ -4,35 +4,56 @@ import (
 	"container/heap"
 	"errors"
 	"math"
-	"sort"
 
 	"github.com/dbdc-go/dbdc/internal/geom"
 )
 
-// KDTree is a static k-d tree built by median splits. Pruning uses only
-// per-axis coordinate differences, which lower-bound every Minkowski
-// distance, so the tree answers exact range and kNN queries for any Lp
-// metric.
+// kdLeafSize is the bucket capacity of the leaf nodes. Bucketed leaves trade
+// tree depth for short linear scans: the traversal touches ~n/kdLeafSize
+// internal nodes instead of n point-bearing ones, and every leaf hands the
+// batched distance kernel a contiguous run of candidates. 16 keeps a 2-d
+// leaf (16 rows × 16 B) inside two cache lines of ids.
+const kdLeafSize = 16
+
+// KDTree is a static bucketed k-d tree built by median splits (quickselect,
+// not a full sort — O(n) per level). Internal nodes carry only the split
+// plane; all points live in leaf buckets, stored as contiguous ranges of one
+// build permutation. Pruning uses only per-axis coordinate differences,
+// which lower-bound every Minkowski distance, so the tree answers exact
+// range and kNN queries for any Lp metric.
 type KDTree struct {
 	pts    []geom.Point
 	metric geom.Metric
 	dim    int
 	nodes  []kdNode
+	// order is the build permutation; leaf node i owns order[left:right).
+	// Kept as []int so a leaf bucket slices directly into the batched
+	// verification call — no per-query id copying.
+	order []int
+	// bounds holds the tight per-node bounding box of every slot,
+	// 2*dim floats per node (lo/hi interleaved per axis): leaves scan their
+	// bucket, internal nodes take the union of their children. The store
+	// traversal prunes on these boxes — strictly tighter than the split-plane
+	// path gaps, since a node's box is contained in its descent region.
+	bounds []float64
 	root   int32
 	// sq is the squared-comparison fast path (nil when the metric does not
 	// support it); euclid devirtualizes the common Euclidean case.
 	sq     geom.SquaredMetric
 	euclid bool
 	// store is the flat backing store when built via NewKDTreeStore; the
-	// Euclidean range search then verifies nodes through the strided Store
-	// kernels by node id.
+	// Euclidean range search then collects candidate ids from the visited
+	// leaves and verifies them through the batched Store kernel.
 	store *geom.Store
 }
 
+// kdNode is either an internal split (axis >= 0: split plane, left/right are
+// child slots) or a leaf bucket (axis < 0: left/right bound the owned range
+// of the order permutation).
 type kdNode struct {
-	idx         int32 // index into pts
+	split       float64
+	left, right int32
 	axis        int8
-	left, right int32 // node slots, -1 for none
 }
 
 // NewKDTree builds a k-d tree over pts. The slice is retained, not copied.
@@ -48,41 +69,132 @@ func NewKDTree(pts []geom.Point, metric geom.Metric) (*KDTree, error) {
 		return t, nil
 	}
 	t.dim = pts[0].Dim()
-	order := make([]int32, len(pts))
-	for i := range order {
+	t.order = make([]int, len(pts))
+	for i := range t.order {
 		if pts[i].Dim() != t.dim {
 			return nil, errors.New("index: kdtree requires uniform dimensionality")
 		}
-		order[i] = int32(i)
+		t.order[i] = i
 	}
-	t.nodes = make([]kdNode, 0, len(pts))
-	t.root = t.build(order, 0)
+	t.nodes = make([]kdNode, 0, 2*(len(pts)/kdLeafSize)+2)
+	t.root = t.build(0, len(pts), 0)
+	t.computeBounds()
 	return t, nil
 }
 
-// build recursively partitions order around the median along the split axis
-// and returns the slot of the created node.
-func (t *KDTree) build(order []int32, depth int) int32 {
-	if len(order) == 0 {
-		return -1
+// computeBounds fills the per-node bounding boxes in one reverse pass over
+// the slot array: build appends parents before children, so every child slot
+// is numbered after its parent and a descending sweep sees children first.
+// NaN coordinates never enter a box (they fail both min/max comparisons);
+// that can only make pruning drop rows with NaN coordinates, which fail
+// every distance threshold anyway.
+func (t *KDTree) computeBounds() {
+	t.bounds = make([]float64, 2*t.dim*len(t.nodes))
+	for slot := len(t.nodes) - 1; slot >= 0; slot-- {
+		n := &t.nodes[slot]
+		b := t.bounds[slot*2*t.dim : (slot+1)*2*t.dim]
+		for d := 0; d < t.dim; d++ {
+			b[2*d] = math.Inf(1)
+			b[2*d+1] = math.Inf(-1)
+		}
+		if n.axis < 0 {
+			for _, id := range t.order[n.left:n.right] {
+				p := t.pts[id]
+				for d := 0; d < t.dim; d++ {
+					if p[d] < b[2*d] {
+						b[2*d] = p[d]
+					}
+					if p[d] > b[2*d+1] {
+						b[2*d+1] = p[d]
+					}
+				}
+			}
+			continue
+		}
+		for _, c := range [2]int32{n.left, n.right} {
+			cb := t.bounds[int(c)*2*t.dim:]
+			for d := 0; d < t.dim; d++ {
+				if cb[2*d] < b[2*d] {
+					b[2*d] = cb[2*d]
+				}
+				if cb[2*d+1] > b[2*d+1] {
+					b[2*d+1] = cb[2*d+1]
+				}
+			}
+		}
+	}
+}
+
+// build partitions order[lo:hi) around its median on the depth axis via
+// quickselect and returns the slot of the created node. Ranges at or below
+// the bucket size become leaves. The left child owns values <= split, the
+// right child (which keeps the median element) values >= split, so the
+// per-axis pruning tests are boundary-exact.
+func (t *KDTree) build(lo, hi, depth int) int32 {
+	if hi-lo <= kdLeafSize {
+		slot := int32(len(t.nodes))
+		t.nodes = append(t.nodes, kdNode{axis: -1, left: int32(lo), right: int32(hi)})
+		return slot
 	}
 	axis := depth % t.dim
-	sort.Slice(order, func(i, j int) bool {
-		return t.pts[order[i]][axis] < t.pts[order[j]][axis]
-	})
-	mid := len(order) / 2
+	mid := lo + (hi-lo)/2
+	kdSelect(t.pts, t.order[lo:hi], mid-lo, axis)
 	slot := int32(len(t.nodes))
-	t.nodes = append(t.nodes, kdNode{idx: order[mid], axis: int8(axis)})
-	left := t.build(order[:mid], depth+1)
-	right := t.build(order[mid+1:], depth+1)
+	t.nodes = append(t.nodes, kdNode{split: t.pts[t.order[mid]][axis], axis: int8(axis)})
+	left := t.build(lo, mid, depth+1)
+	right := t.build(mid, hi, depth+1)
 	t.nodes[slot].left = left
 	t.nodes[slot].right = right
 	return slot
 }
 
+// kdSelect is an iterative Hoare quickselect with median-of-three pivoting:
+// it permutes ord so ord[n] holds the n-th order statistic of the axis
+// coordinate, everything before it is <= and everything after is >=. One
+// selection is O(len(ord)) expected — the whole tree build O(n log n) with
+// direct float comparisons, no sort.Slice closure dispatch.
+func kdSelect(pts []geom.Point, ord []int, n, axis int) {
+	lo, hi := 0, len(ord)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[ord[mid]][axis] < pts[ord[lo]][axis] {
+			ord[mid], ord[lo] = ord[lo], ord[mid]
+		}
+		if pts[ord[hi]][axis] < pts[ord[lo]][axis] {
+			ord[hi], ord[lo] = ord[lo], ord[hi]
+		}
+		if pts[ord[hi]][axis] < pts[ord[mid]][axis] {
+			ord[hi], ord[mid] = ord[mid], ord[hi]
+		}
+		pivot := pts[ord[mid]][axis]
+		i, j := lo, hi
+		for i <= j {
+			for pts[ord[i]][axis] < pivot {
+				i++
+			}
+			for pts[ord[j]][axis] > pivot {
+				j--
+			}
+			if i <= j {
+				ord[i], ord[j] = ord[j], ord[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case n <= j:
+			hi = j
+		case n >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
 // NewKDTreeStore builds a k-d tree over the points of a flat store. The
 // store is retained — Point(i) serves zero-copy views and the Euclidean
-// range search verifies candidates through the strided Store kernels.
+// range search verifies candidates through the batched Store kernels.
 func NewKDTreeStore(st *geom.Store, metric geom.Metric) (*KDTree, error) {
 	t, err := NewKDTree(st.Views(), metric)
 	if err != nil {
@@ -109,14 +221,25 @@ func (t *KDTree) Range(q geom.Point, eps float64) []int {
 	return t.RangeAppend(q, eps, nil)
 }
 
+// RangeAppendID implements IDRangeAppender: the query point is addressed by
+// object id, sparing the caller an interface Point round-trip per query.
+func (t *KDTree) RangeAppendID(i int, eps float64, buf []int) []int {
+	return t.RangeAppend(t.pts[i], eps, buf)
+}
+
 // RangeAppend implements RangeAppender. Point verification runs in squared
 // space when the metric supports it; the per-axis subtree pruning is
 // unchanged (coordinate gaps lower-bound every Lp distance either way).
 func (t *KDTree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
+	if t.root < 0 {
+		return out
+	}
 	switch {
 	case t.euclid && t.store != nil:
-		t.rangeSearchEuclidStore(t.root, q, eps, eps*eps, &out)
+		out = t.rangeSearchEuclidStore(q, eps, eps*eps, out)
+	case t.euclid && t.dim == 2:
+		t.rangeEuclid2(t.root, q[0], q[1], eps, eps*eps, 0, 0, &out)
 	case t.euclid:
 		t.rangeSearchEuclid(t.root, q, eps, eps*eps, &out)
 	case t.sq != nil:
@@ -128,15 +251,16 @@ func (t *KDTree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 }
 
 func (t *KDTree) rangeSearch(slot int32, q geom.Point, eps float64, out *[]int) {
-	if slot < 0 {
+	n := &t.nodes[slot]
+	if n.axis < 0 {
+		for _, id := range t.order[n.left:n.right] {
+			if t.metric.Distance(q, t.pts[id]) <= eps {
+				*out = append(*out, id)
+			}
+		}
 		return
 	}
-	n := &t.nodes[slot]
-	p := t.pts[n.idx]
-	if t.metric.Distance(q, p) <= eps {
-		*out = append(*out, int(n.idx))
-	}
-	diff := q[n.axis] - p[n.axis]
+	diff := q[n.axis] - n.split
 	if diff <= eps {
 		t.rangeSearch(n.left, q, eps, out)
 	}
@@ -146,17 +270,34 @@ func (t *KDTree) rangeSearch(slot int32, q geom.Point, eps float64, out *[]int) 
 }
 
 // rangeSearchEuclid is rangeSearch with the Euclidean DistanceSq kernel
-// inlined (concrete receiver, sqrt-free, no interface dispatch).
+// inlined (concrete receiver, sqrt-free, no interface dispatch). Leaf
+// buckets are gated on their bounding box exactly like the store descent
+// (see rangeSearchEuclidStore): the slice kernel shares the store kernel's
+// summation shape, so the squared-gap sum is the same provable FP lower
+// bound and gated leaves contain no passing rows.
 func (t *KDTree) rangeSearchEuclid(slot int32, q geom.Point, eps, eps2 float64, out *[]int) {
-	if slot < 0 {
+	n := &t.nodes[slot]
+	if n.axis < 0 {
+		b := t.bounds[int(slot)*2*t.dim:]
+		sum := 0.0
+		for d := 0; d < t.dim; d++ {
+			g := boxGap(q[d], b[2*d], b[2*d+1])
+			if g > eps {
+				return
+			}
+			sum += g * g
+		}
+		if sum > eps2 {
+			return
+		}
+		for _, id := range t.order[n.left:n.right] {
+			if (geom.Euclidean{}).DistanceSq(q, t.pts[id]) <= eps2 {
+				*out = append(*out, id)
+			}
+		}
 		return
 	}
-	n := &t.nodes[slot]
-	p := t.pts[n.idx]
-	if (geom.Euclidean{}).DistanceSq(q, p) <= eps2 {
-		*out = append(*out, int(n.idx))
-	}
-	diff := q[n.axis] - p[n.axis]
+	diff := q[n.axis] - n.split
 	if diff <= eps {
 		t.rangeSearchEuclid(n.left, q, eps, eps2, out)
 	}
@@ -165,37 +306,189 @@ func (t *KDTree) rangeSearchEuclid(slot int32, q geom.Point, eps, eps2 float64, 
 	}
 }
 
-// rangeSearchEuclidStore is rangeSearchEuclid with node verification routed
-// through the strided Store kernel by node id — bit-identical comparisons
-// (same operand and summation order), contiguous-row memory access.
-func (t *KDTree) rangeSearchEuclidStore(slot int32, q geom.Point, eps, eps2 float64, out *[]int) {
-	if slot < 0 {
-		return
+// rangeSearchEuclidStore is the batched store traversal: a descent that
+// hands every surviving leaf bucket — a ready-made slice of the build
+// permutation, no id copying — to the fused Store kernel for verification.
+// Subtrees are pruned on the split-plane distance during the descent, and
+// every leaf that survives is gated on its tight bounding box: the per-axis
+// gap from q to the box and the ascending-axis sum of the squared gaps —
+// the exact operation chain of the distance kernel, over per-axis gaps that
+// by FP-monotone subtraction never exceed any boxed row's — so a gated leaf
+// provably contains no row the kernel would accept, and the surviving
+// leaves' left-to-right verification order is untouched: the output is
+// identical to the ungated walk.
+func (t *KDTree) rangeSearchEuclidStore(q geom.Point, eps, eps2 float64, out []int) []int {
+	if t.dim == 2 {
+		// The 2-d descent keeps the whole bound state in registers — the
+		// dominant paper-data shape.
+		return t.rangeStore2(t.root, q[0], q[1], eps, eps2, 0, 0, out)
 	}
+	return t.rangeStore(t.root, q, eps, eps2, out)
+}
+
+// boxGap is the per-axis separation from coordinate q to the interval
+// [lo, hi] — zero inside. For every p in the interval, |fl(q−p)| ≥ the
+// returned gap (the FP subtraction is monotone in p), so squared-gap sums
+// in kernel order lower-bound every boxed row's computed squared distance.
+// A NaN q yields gap 0 on the axis: no pruning, verdicts fall through to
+// the kernels.
+func boxGap(q, lo, hi float64) float64 {
+	switch {
+	case q < lo:
+		return lo - q
+	case q > hi:
+		return q - hi
+	}
+	return 0
+}
+
+// rangeStore2 is rangeStore specialised to two dimensions: the per-axis
+// path gaps travel as scalar arguments (g0, g1 — the separation accumulated
+// from split crossings on the descent, which by region nesting never
+// exceeds any subtree point's), the far side of a crossed split is skipped
+// when the kernel-order gap sum fl(g0²+g1²) exceeds eps², and every leaf
+// that survives is gated on its tight box. Both bounds run the exact
+// operation chain of the 2-d kernel, so the pruning argument of rangeStore
+// carries over verbatim.
+func (t *KDTree) rangeStore2(slot int32, q0, q1, eps, eps2, g0, g1 float64, out []int) []int {
 	n := &t.nodes[slot]
-	if t.store.DistanceSqTo(int(n.idx), q) <= eps2 {
-		*out = append(*out, int(n.idx))
+	if n.axis < 0 {
+		b := t.bounds[slot*4 : slot*4+4]
+		bg0 := boxGap(q0, b[0], b[1])
+		bg1 := boxGap(q1, b[2], b[3])
+		if bg0 > eps || bg1 > eps || bg0*bg0+bg1*bg1 > eps2 {
+			return out
+		}
+		return t.store.VerifyRangeSq2(q0, q1, t.order[n.left:n.right], eps2, out)
 	}
-	diff := q[n.axis] - t.pts[n.idx][n.axis]
+	var diff float64
+	if n.axis == 0 {
+		diff = q0 - n.split
+	} else {
+		diff = q1 - n.split
+	}
 	if diff <= eps {
-		t.rangeSearchEuclidStore(n.left, q, eps, eps2, out)
+		if diff <= 0 {
+			out = t.rangeStore2(n.left, q0, q1, eps, eps2, g0, g1, out)
+		} else if n.axis == 0 {
+			if diff*diff+g1*g1 <= eps2 {
+				out = t.rangeStore2(n.left, q0, q1, eps, eps2, diff, g1, out)
+			}
+		} else if g0*g0+diff*diff <= eps2 {
+			out = t.rangeStore2(n.left, q0, q1, eps, eps2, g0, diff, out)
+		}
 	}
 	if -diff <= eps {
-		t.rangeSearchEuclidStore(n.right, q, eps, eps2, out)
+		if diff >= 0 {
+			out = t.rangeStore2(n.right, q0, q1, eps, eps2, g0, g1, out)
+		} else if n.axis == 0 {
+			if diff*diff+g1*g1 <= eps2 {
+				out = t.rangeStore2(n.right, q0, q1, eps, eps2, -diff, g1, out)
+			}
+		} else if g0*g0+diff*diff <= eps2 {
+			out = t.rangeStore2(n.right, q0, q1, eps, eps2, g0, -diff, out)
+		}
 	}
+	return out
+}
+
+// rangeEuclid2 is the slice-path twin of rangeStore2: the same
+// gap-threaded 2-d descent and leaf bounding-box gate, with the verification
+// loop inlined over the point slices instead of the fused store kernel. The
+// inline `d0*d0 + d1*d1` is the 2-d Euclidean DistanceSq summation exactly
+// (ascending axes, no reassociation), so slice- and store-built trees with
+// the same leaf layout return identical ids in identical order.
+func (t *KDTree) rangeEuclid2(slot int32, q0, q1, eps, eps2, g0, g1 float64, out *[]int) {
+	n := &t.nodes[slot]
+	if n.axis < 0 {
+		b := t.bounds[slot*4 : slot*4+4]
+		bg0 := boxGap(q0, b[0], b[1])
+		bg1 := boxGap(q1, b[2], b[3])
+		if bg0 > eps || bg1 > eps || bg0*bg0+bg1*bg1 > eps2 {
+			return
+		}
+		for _, id := range t.order[n.left:n.right] {
+			p := t.pts[id]
+			d0 := q0 - p[0]
+			d1 := q1 - p[1]
+			if d0*d0+d1*d1 <= eps2 {
+				*out = append(*out, id)
+			}
+		}
+		return
+	}
+	var diff float64
+	if n.axis == 0 {
+		diff = q0 - n.split
+	} else {
+		diff = q1 - n.split
+	}
+	if diff <= eps {
+		if diff <= 0 {
+			t.rangeEuclid2(n.left, q0, q1, eps, eps2, g0, g1, out)
+		} else if n.axis == 0 {
+			if diff*diff+g1*g1 <= eps2 {
+				t.rangeEuclid2(n.left, q0, q1, eps, eps2, diff, g1, out)
+			}
+		} else if g0*g0+diff*diff <= eps2 {
+			t.rangeEuclid2(n.left, q0, q1, eps, eps2, g0, diff, out)
+		}
+	}
+	if -diff <= eps {
+		if diff >= 0 {
+			t.rangeEuclid2(n.right, q0, q1, eps, eps2, g0, g1, out)
+		} else if n.axis == 0 {
+			if diff*diff+g1*g1 <= eps2 {
+				t.rangeEuclid2(n.right, q0, q1, eps, eps2, -diff, g1, out)
+			}
+		} else if g0*g0+diff*diff <= eps2 {
+			t.rangeEuclid2(n.right, q0, q1, eps, eps2, g0, -diff, out)
+		}
+	}
+}
+
+func (t *KDTree) rangeStore(slot int32, q geom.Point, eps, eps2 float64, out []int) []int {
+	n := &t.nodes[slot]
+	if n.axis < 0 {
+		b := t.bounds[int(slot)*2*t.dim:]
+		// Squared gaps accumulate in ascending axis order — the distance
+		// kernels' exact summation shape, so the bound is a true FP lower
+		// bound on every boxed row's computed squared distance.
+		var sum float64
+		for d := 0; d < t.dim; d++ {
+			g := boxGap(q[d], b[2*d], b[2*d+1])
+			if g > eps {
+				return out
+			}
+			sum += g * g
+		}
+		if sum > eps2 {
+			return out
+		}
+		return t.store.VerifyRangeSq(q, t.order[n.left:n.right], eps2, out)
+	}
+	diff := q[n.axis] - n.split
+	if diff <= eps {
+		out = t.rangeStore(n.left, q, eps, eps2, out)
+	}
+	if -diff <= eps {
+		out = t.rangeStore(n.right, q, eps, eps2, out)
+	}
+	return out
 }
 
 // rangeSearchSq is rangeSearch for any other SquaredMetric.
 func (t *KDTree) rangeSearchSq(slot int32, q geom.Point, eps, eps2 float64, out *[]int) {
-	if slot < 0 {
+	n := &t.nodes[slot]
+	if n.axis < 0 {
+		for _, id := range t.order[n.left:n.right] {
+			if t.sq.DistanceSq(q, t.pts[id]) <= eps2 {
+				*out = append(*out, id)
+			}
+		}
 		return
 	}
-	n := &t.nodes[slot]
-	p := t.pts[n.idx]
-	if t.sq.DistanceSq(q, p) <= eps2 {
-		*out = append(*out, int(n.idx))
-	}
-	diff := q[n.axis] - p[n.axis]
+	diff := q[n.axis] - n.split
 	if diff <= eps {
 		t.rangeSearchSq(n.left, q, eps, eps2, out)
 	}
@@ -206,7 +499,7 @@ func (t *KDTree) rangeSearchSq(slot int32, q geom.Point, eps, eps2 float64, out 
 
 // knnCand is a max-heap entry so the current worst candidate sits on top.
 type knnCand struct {
-	idx  int32
+	idx  int
 	dist float64
 }
 
@@ -233,25 +526,26 @@ func (t *KDTree) KNN(q geom.Point, k int) []int {
 	t.knnSearch(t.root, q, k, &h)
 	out := make([]int, h.Len())
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = int(heap.Pop(&h).(knnCand).idx)
+		out[i] = heap.Pop(&h).(knnCand).idx
 	}
 	return out
 }
 
 func (t *KDTree) knnSearch(slot int32, q geom.Point, k int, h *knnHeap) {
-	if slot < 0 {
+	n := &t.nodes[slot]
+	if n.axis < 0 {
+		for _, id := range t.order[n.left:n.right] {
+			d := t.metric.Distance(q, t.pts[id])
+			if h.Len() < k {
+				heap.Push(h, knnCand{id, d})
+			} else if top := (*h)[0]; d < top.dist || (d == top.dist && id < top.idx) {
+				(*h)[0] = knnCand{id, d}
+				heap.Fix(h, 0)
+			}
+		}
 		return
 	}
-	n := &t.nodes[slot]
-	p := t.pts[n.idx]
-	d := t.metric.Distance(q, p)
-	if h.Len() < k {
-		heap.Push(h, knnCand{n.idx, d})
-	} else if top := (*h)[0]; d < top.dist || (d == top.dist && n.idx < top.idx) {
-		(*h)[0] = knnCand{n.idx, d}
-		heap.Fix(h, 0)
-	}
-	diff := q[n.axis] - p[n.axis]
+	diff := q[n.axis] - n.split
 	near, far := n.left, n.right
 	if diff > 0 {
 		near, far = far, near

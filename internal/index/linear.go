@@ -17,8 +17,8 @@ type Linear struct {
 	sq     geom.SquaredMetric
 	euclid bool
 	// store is the flat backing store when the index was built with
-	// NewLinearStore; the Euclidean scan then runs on the strided kernels
-	// (contiguous rows, no pointer chase per point).
+	// NewLinearStore; the Euclidean scan then runs on the fused strided
+	// verification kernel (contiguous rows, no pointer chase per point).
 	store *geom.Store
 }
 
@@ -69,15 +69,10 @@ func (l *Linear) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	out := buf[:0]
 	switch {
 	case l.euclid && l.store != nil:
-		// Strided kernel: q against consecutive rows of the flat buffer,
-		// bit-identical to the slice kernel below (same operand order).
-		eps2 := eps * eps
-		n := l.store.Len()
-		for i := 0; i < n; i++ {
-			if l.store.DistanceSqTo(i, q) <= eps2 {
-				out = append(out, i)
-			}
-		}
+		// Fused strided scan: the interval verification kernel streams the
+		// flat buffer and thresholds in one pass — identical decisions to
+		// testing rows one at a time.
+		out = l.store.VerifyIntervalSq(q, 0, l.store.Len(), eps*eps, out)
 	case l.euclid:
 		// Concrete receiver: DistanceSq inlines into the scan loop.
 		eps2 := eps * eps
@@ -108,18 +103,14 @@ func (l *Linear) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 // Store.DistanceSq without materialising a query slice header.
 func (l *Linear) RangeAppendID(i int, eps float64, buf []int) []int {
 	if l.euclid && l.store != nil {
-		out := buf[:0]
-		eps2 := eps * eps
-		n := l.store.Len()
-		for j := 0; j < n; j++ {
-			if l.store.DistanceSq(i, j) <= eps2 {
-				out = append(out, j)
-			}
-		}
-		return out
+		// The query row's zero-copy view feeds the same fused scan as
+		// RangeAppend: kernel(row_i, row_j) with identical operand order to
+		// the old per-row Store.DistanceSq(i, j) loop.
+		return l.store.VerifyIntervalSq(l.store.Point(i), 0, l.store.Len(), eps*eps, buf[:0])
 	}
 	return l.RangeAppend(l.pts[i], eps, buf)
 }
+
 
 // KNN implements KNNIndex.
 func (l *Linear) KNN(q geom.Point, k int) []int {

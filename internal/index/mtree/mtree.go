@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"github.com/dbdc-go/dbdc/internal/geom"
@@ -26,8 +27,10 @@ type Tree struct {
 	pts        []geom.Point
 	size       int
 	// sq is the squared-comparison fast path used by range queries when the
-	// metric supports it (nil otherwise).
-	sq geom.SquaredMetric
+	// metric supports it (nil otherwise); euclid marks the Euclidean metric,
+	// whose store-backed range search runs the batched kernel path.
+	sq     geom.SquaredMetric
+	euclid bool
 	// distCalls counts metric evaluations; exposed for ablation benches.
 	// Updated atomically: the tree serves range queries from concurrent
 	// readers (e.g. dbscan.RunParallel workers).
@@ -37,6 +40,9 @@ type Tree struct {
 	// contiguous rows; Insert demotes it to nil (inserted points live
 	// outside the store).
 	store *geom.Store
+	// scratch pools the batched-search candidate and distance buffers so
+	// concurrent store-backed range queries stay allocation-free.
+	scratch sync.Pool
 }
 
 // entry is a routing entry (child != nil) or a ground entry (point index).
@@ -73,6 +79,7 @@ func NewWithFanout(pts []geom.Point, metric geom.Metric, maxEntries int) (*Tree,
 	}
 	t := &Tree{metric: metric, maxEntries: maxEntries}
 	t.sq, _ = geom.AsSquared(metric)
+	_, t.euclid = metric.(geom.Euclidean)
 	for _, p := range pts {
 		if err := t.Insert(p); err != nil {
 			return nil, err
@@ -99,6 +106,7 @@ func NewFromStoreWithFanout(st *geom.Store, metric geom.Metric, maxEntries int) 
 	}
 	t := &Tree{metric: metric, maxEntries: maxEntries}
 	t.sq, _ = geom.AsSquared(metric)
+	_, t.euclid = metric.(geom.Euclidean)
 	for i, n := 0, st.Len(); i < n; i++ {
 		if err := t.Insert(st.Point(i)); err != nil {
 			return nil, err
@@ -364,12 +372,66 @@ func (t *Tree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 	if t.root == nil {
 		return out
 	}
-	if t.sq != nil {
+	switch {
+	case t.euclid && t.store != nil:
+		out = t.rangeSearchStore(q, eps, eps*eps, out)
+	case t.sq != nil:
 		t.rangeSearchSq(t.root, q, eps, eps*eps, &out)
-	} else {
+	default:
 		t.rangeSearch(t.root, q, eps, &out)
 	}
 	return out
+}
+
+// RangeAppendID implements index.IDRangeAppender: the query point is
+// addressed by object id, sparing the caller an interface Point round-trip
+// per query.
+func (t *Tree) RangeAppendID(i int, eps float64, buf []int) []int {
+	return t.RangeAppend(t.pts[i], eps, buf)
+}
+
+// mtScratch is the pooled per-query state of the batched store search.
+type mtScratch struct {
+	cand []int
+}
+
+// rangeSearchStore is rangeSearchSq for the store-backed Euclidean tree:
+// the triangle-inequality descent is unchanged (routing pivots are tested
+// one at a time — each verdict gates a recursion), but ground entries of
+// surviving leaves are collected and verified through the batched Store
+// kernel in one fused sweep — identical decisions and visit order to the
+// per-entry path; the leaf distance evaluations are accounted to distCalls
+// in one atomic add per query instead of one per entry.
+func (t *Tree) rangeSearchStore(q geom.Point, eps, eps2 float64, out []int) []int {
+	s, _ := t.scratch.Get().(*mtScratch)
+	if s == nil {
+		s = &mtScratch{}
+	}
+	cand := t.collectStore(t.root, q, eps, s.cand[:0])
+	atomic.AddInt64(&t.distCalls, int64(len(cand)))
+	out = t.store.VerifyRangeSq(q, cand, eps2, out)
+	s.cand = cand
+	t.scratch.Put(s)
+	return out
+}
+
+// collectStore appends the ground-entry ids of every leaf reached by the
+// triangle-inequality descent to cand.
+func (t *Tree) collectStore(n *node, q geom.Point, eps float64, cand []int) []int {
+	if n.leaf {
+		for i := range n.entries {
+			cand = append(cand, int(n.entries[i].idx))
+		}
+		return cand
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		bound := eps + e.radius
+		if t.distSq(q, e.pivot) <= bound*bound {
+			cand = t.collectStore(e.child, q, eps, cand)
+		}
+	}
+	return cand
 }
 
 func (t *Tree) rangeSearch(n *node, q geom.Point, eps float64, out *[]int) {

@@ -21,15 +21,21 @@ func (t *Tree) RangeAppend(q geom.Point, eps float64, buf []int) []int {
 		return buf[:0]
 	}
 	out := buf[:0]
+	if t.store != nil {
+		return t.rangeSearchStore(q, eps*eps, out)
+	}
 	t.rangeSearch(t.root, q, eps*eps, &out)
 	return out
 }
 
+// RangeAppendID implements index.IDRangeAppender: the query point is
+// addressed by object id, sparing the caller an interface Point round-trip
+// per query.
+func (t *Tree) RangeAppendID(i int, eps float64, buf []int) []int {
+	return t.RangeAppend(t.pts[i], eps, buf)
+}
+
 func (t *Tree) rangeSearch(n *node, q geom.Point, eps2 float64, out *[]int) {
-	if t.store != nil {
-		t.rangeSearchStore(n, q, eps2, out)
-		return
-	}
 	for _, e := range n.entries {
 		if n.leaf() {
 			if geom.SquaredEuclidean(q, t.pts[e.idx]) <= eps2 {
@@ -43,21 +49,43 @@ func (t *Tree) rangeSearch(n *node, q geom.Point, eps2 float64, out *[]int) {
 	}
 }
 
-// rangeSearchStore is rangeSearch with leaf verification routed through the
-// strided Store kernel by point id — bit-identical to SquaredEuclidean
-// (same operand and summation order), contiguous-row access.
-func (t *Tree) rangeSearchStore(n *node, q geom.Point, eps2 float64, out *[]int) {
-	for _, e := range n.entries {
-		if n.leaf() {
-			if t.store.DistanceSqTo(int(e.idx), q) <= eps2 {
-				*out = append(*out, int(e.idx))
-			}
-			continue
+// rsScratch is the pooled per-query state of the batched store search.
+type rsScratch struct {
+	cand []int
+}
+
+// rangeSearchStore is the batched store search: the MBR-pruned descent is
+// unchanged, but instead of verifying leaf entries one at a time it collects
+// every surviving leaf's point ids (in the recursion's visit order) and
+// verifies the whole list through the fused Store kernel — identical
+// decisions and output order to per-entry DistanceSqTo tests.
+func (t *Tree) rangeSearchStore(q geom.Point, eps2 float64, out []int) []int {
+	s, _ := t.scratch.Get().(*rsScratch)
+	if s == nil {
+		s = &rsScratch{}
+	}
+	cand := t.collectStore(t.root, q, eps2, s.cand[:0])
+	out = t.store.VerifyRangeSq(q, cand, eps2, out)
+	s.cand = cand
+	t.scratch.Put(s)
+	return out
+}
+
+// collectStore appends the point ids of every leaf reached by the MBR-pruned
+// descent to cand.
+func (t *Tree) collectStore(n *node, q geom.Point, eps2 float64, cand []int) []int {
+	if n.leaf() {
+		for _, e := range n.entries {
+			cand = append(cand, int(e.idx))
 		}
+		return cand
+	}
+	for _, e := range n.entries {
 		if e.rect.MinDistSq(q) <= eps2 {
-			t.rangeSearchStore(e.child, q, eps2, out)
+			cand = t.collectStore(e.child, q, eps2, cand)
 		}
 	}
+	return cand
 }
 
 // RangeCount returns |N_eps(q)| without materialising the result slice.

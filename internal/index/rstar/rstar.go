@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/dbdc-go/dbdc/internal/geom"
 )
@@ -37,9 +38,12 @@ type Tree struct {
 	size       int
 	metric     geom.Euclidean
 	// store is the flat backing store when built via NewBulkStore; leaf
-	// verification then runs on the strided Store kernels by point id.
-	// Insert demotes it to nil (inserted points live outside the store).
+	// verification then runs batched on the strided Store kernels by point
+	// id. Insert demotes it to nil (inserted points live outside the store).
 	store *geom.Store
+	// scratch pools the batched-search candidate and distance buffers so
+	// concurrent range queries stay allocation-free in steady state.
+	scratch sync.Pool
 }
 
 type entry struct {

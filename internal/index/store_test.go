@@ -158,3 +158,35 @@ func TestRangeAppendZeroAlloc(t *testing.T) {
 		}
 	}
 }
+
+// TestRangeBatchZeroAlloc gates the batched candidate-verification path of
+// every index kind: collect-then-verify through the fused Store kernels
+// must not allocate once the result buffer and the pooled per-query scratch
+// (cell walks, candidate collectors) have reached steady state — by-point
+// and by-id queries alike. Skipped under the race detector, whose
+// instrumentation perturbs allocation accounting.
+func TestRangeBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	st := testStore(2000, 5)
+	const eps = 2.0
+	for _, kind := range Kinds() {
+		idx, err := BuildStore(kind, st, geom.Euclidean{}, eps)
+		if err != nil {
+			t.Fatalf("%s: BuildStore: %v", kind, err)
+		}
+		buf := make([]int, 0, st.Len()) // steady-state capacity up front
+		// One warm-up query primes the pooled scratch before counting.
+		buf = RangeInto(idx, st.Point(0), eps, buf)
+		q := 0
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = RangeInto(idx, st.Point(q%st.Len()), eps, buf)
+			buf = RangeIntoID(idx, q%st.Len(), eps, buf)
+			q += 131
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per batched range query, want 0", kind, allocs)
+		}
+	}
+}

@@ -30,12 +30,13 @@ import (
 // label-identical to the relabeling that trained it.
 //
 // A Classifier is immutable after construction and safe for any number of
-// concurrent readers; candidate buffers are pooled internally so the
-// steady-state hot path allocates nothing.
+// concurrent readers; the candidate-id and batched-distance buffers of the
+// selection rule are pooled internally so the steady-state hot path
+// allocates nothing.
 type Classifier struct {
-	sel   *dbdc.RepSelector
-	model *model.GlobalModel
-	bufs  sync.Pool // *[]int candidate buffers
+	sel     *dbdc.RepSelector
+	model   *model.GlobalModel
+	scratch sync.Pool // *dbdc.RepScratch selection buffers
 }
 
 // NewClassifier builds a classifier for the global model over the given
@@ -48,7 +49,7 @@ func NewClassifier(global *model.GlobalModel, kind index.Kind) (*Classifier, err
 		return nil, fmt.Errorf("serve: building classifier: %w", err)
 	}
 	c := &Classifier{sel: sel, model: global}
-	c.bufs.New = func() any { b := make([]int, 0, 16); return &b }
+	c.scratch.New = func() any { return new(dbdc.RepScratch) }
 	return c, nil
 }
 
@@ -85,10 +86,9 @@ func (c *Classifier) Classify(p geom.Point) (cluster.ID, error) {
 	if err := c.checkPoint(0, p); err != nil {
 		return cluster.Noise, err
 	}
-	bp := c.bufs.Get().(*[]int)
-	id, buf := c.sel.SelectInto(p, (*bp)[:0])
-	*bp = buf
-	c.bufs.Put(bp)
+	sc := c.scratch.Get().(*dbdc.RepScratch)
+	id := c.sel.SelectInto(p, sc)
+	c.scratch.Put(sc)
 	return id, nil
 }
 
@@ -105,12 +105,10 @@ func (c *Classifier) ClassifyBatch(pts []geom.Point, out []cluster.ID) error {
 			return err
 		}
 	}
-	bp := c.bufs.Get().(*[]int)
-	buf := (*bp)[:0]
+	sc := c.scratch.Get().(*dbdc.RepScratch)
 	for i, p := range pts {
-		out[i], buf = c.sel.SelectInto(p, buf)
+		out[i] = c.sel.SelectInto(p, sc)
 	}
-	*bp = buf
-	c.bufs.Put(bp)
+	c.scratch.Put(sc)
 	return nil
 }
