@@ -26,6 +26,13 @@
 // last round until killed. -metrics-addr additionally exposes Prometheus
 // metrics (QPS, latency percentiles, model version) over HTTP. See
 // docs/serving.md.
+//
+// With -stream the server runs the always-on streaming deployment instead
+// of synchronous rounds: sites connect whenever their clustering changed,
+// uploading full models or streaming deltas (docs/streaming.md); the
+// global model is rebuilt on a debounced schedule (-debounce) with stable
+// cluster ids and hot-swapped into the classification registry
+// continuously. The process serves until killed.
 package main
 
 import (
@@ -59,6 +66,8 @@ func main() {
 	serveClassify := flag.String("serve-classify", "", "serve online classification on this address (e.g. :7072); every completed round hot-swaps the model, and the server keeps answering after the last round until killed")
 	classifyIndex := flag.String("classify-index", string(index.KindKDTree), "spatial index the classifier bulk-loads the representatives into")
 	metricsAddr := flag.String("metrics-addr", "", "expose Prometheus metrics over HTTP on this address (e.g. :9090)")
+	streamMode := flag.Bool("stream", false, "run the always-on streaming server (accepts full and delta uploads, rebuilds continuously) instead of synchronous rounds")
+	debounce := flag.Duration("debounce", 100*time.Millisecond, "with -stream: coalesce delta folds arriving within this window into one global rebuild (0 = rebuild per fold)")
 	flag.Parse()
 
 	if *eps <= 0 || *minPts < 1 {
@@ -68,6 +77,10 @@ func main() {
 	cfg := lib.Config{
 		Local:     lib.Params{Eps: *eps, MinPts: *minPts},
 		EpsGlobal: *epsGlobal,
+	}
+	if *streamMode {
+		runStreamServer(*addr, cfg, *timeout, *debounce, *serveClassify, *classifyIndex, *metricsAddr)
+		return
 	}
 	srv, err := transport.NewServer(*addr, *sites, cfg, *timeout)
 	if err != nil {
@@ -177,6 +190,76 @@ func main() {
 	// the process keeps answering queries until killed.
 	if classifySrv != nil {
 		fmt.Fprintln(os.Stderr, "dbdc-server: rounds done; serving classification until killed")
+		if err := <-classifyDone; err != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runStreamServer is the -stream mode: an UpdateServer folding full and
+// delta uploads until killed, optionally fronted by a classification
+// server whose registry hot-swaps on every debounced rebuild.
+func runStreamServer(addr string, cfg lib.Config, timeout, debounce time.Duration, serveClassify, classifyIndex, metricsAddr string) {
+	srv, err := lib.NewUpdateServer(addr, cfg, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	srv.SetDebounce(debounce)
+
+	var classifyDone chan error
+	if serveClassify != "" {
+		ik := index.Kind(classifyIndex)
+		valid := false
+		for _, k := range index.Kinds() {
+			if k == ik {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "dbdc-server: unknown -classify-index %q (want one of %v)\n", classifyIndex, index.Kinds())
+			os.Exit(2)
+		}
+		registry := serve.NewRegistry(ik)
+		metrics := serve.NewMetrics(registry)
+		srv.SetOnGlobal(registry.PublishFunc(func(err error) {
+			fmt.Fprintf(os.Stderr, "dbdc-server: publishing global model: %v\n", err)
+		}))
+		cs, err := serve.NewServer(serveClassify, serve.ServerConfig{
+			Registry: registry,
+			Metrics:  metrics,
+			Timeout:  timeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+			os.Exit(1)
+		}
+		defer cs.Close()
+		classifyDone = make(chan error, 1)
+		go func() { classifyDone <- cs.Serve() }()
+		fmt.Fprintf(os.Stderr, "dbdc-server: serving classification on %s (index %s)\n", cs.Addr(), ik)
+		if metricsAddr != "" {
+			closeFn, bound, err := metrics.ListenAndServe(metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+				os.Exit(1)
+			}
+			defer closeFn()
+			fmt.Fprintf(os.Stderr, "dbdc-server: metrics on http://%s/metrics\n", bound)
+		}
+	} else if metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "dbdc-server: -metrics-addr needs -serve-classify")
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "dbdc-server: streaming mode on %s (debounce %s)\n", srv.Addr(), debounce)
+	if err := srv.Serve(0); err != nil {
+		fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
+		os.Exit(1)
+	}
+	if classifyDone != nil {
 		if err := <-classifyDone; err != nil {
 			fmt.Fprintf(os.Stderr, "dbdc-server: %v\n", err)
 			os.Exit(1)

@@ -24,6 +24,14 @@
 // objects are inserted by classifying them against the representatives");
 // -metrics-addr exposes Prometheus metrics for that front end. See
 // docs/serving.md.
+//
+// With -stream the site runs the always-on streaming mode instead of one
+// round: the input CSV is ingested in row order as a point stream over a
+// sliding window (-window), the local clustering is maintained with
+// incremental DBSCAN, and a model update — a delta when the server folds
+// them, a full model otherwise — is uploaded whenever the clustering
+// changed considerably (-stream-threshold). Pair it with a dbdc-server
+// running -stream. See docs/streaming.md.
 package main
 
 import (
@@ -59,6 +67,10 @@ func main() {
 	serveClassify := flag.String("serve-classify", "", "after the round, classify new points against the received global model on this address (e.g. :7072) until killed")
 	classifyIndex := flag.String("classify-index", string(index.KindKDTree), "spatial index the local classifier bulk-loads the representatives into")
 	metricsAddr := flag.String("metrics-addr", "", "expose Prometheus classification metrics over HTTP on this address (needs -serve-classify)")
+	streamMode := flag.Bool("stream", false, "ingest the input as a point stream over a sliding window and upload model updates continuously (see docs/streaming.md)")
+	window := flag.Int("window", 1000, "with -stream: sliding-window size in points")
+	streamThreshold := flag.Float64("stream-threshold", 0.15, "with -stream: clustering-change level (1 − P^II) above which the site uploads")
+	streamCheck := flag.Int("stream-check", 64, "with -stream: ingested points between change checks")
 	flag.Parse()
 
 	if *id == "" || *input == "" || *eps <= 0 || *minPts < 1 {
@@ -103,6 +115,10 @@ func main() {
 		Model:       kind,
 		SiteWorkers: siteWorkers,
 		RepBudget:   *repBudget,
+	}
+	if *streamMode {
+		runStreamSite(*id, *addr, pts, cfg, *window, *streamThreshold, *streamCheck, *timeout, *legacyUpload)
+		return
 	}
 	client := &lib.TransportClient{
 		Addr:               *addr,
@@ -215,6 +231,35 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runStreamSite is the -stream mode: the CSV rows become a point stream
+// ingested over a sliding window, with model updates uploaded whenever the
+// clustering changed considerably; a final flush ships the closing state.
+func runStreamSite(id, addr string, pts []lib.Point, cfg lib.Config, window int, threshold float64, checkEvery int, timeout time.Duration, legacyUpload bool) {
+	site, err := lib.NewStreamSite(lib.StreamConfig{
+		SiteID:     id,
+		Cluster:    cfg,
+		Window:     window,
+		Threshold:  threshold,
+		CheckEvery: checkEvery,
+	}, &lib.StreamClient{Addr: addr, Timeout: timeout, DisableDelta: legacyUpload})
+	if err != nil {
+		fatal(err)
+	}
+	for i, p := range pts {
+		if err := site.Ingest(p); err != nil {
+			fmt.Fprintf(os.Stderr, "dbdc-site %s: point %d: %v (continuing)\n", id, i, err)
+		}
+	}
+	if err := site.Flush(); err != nil {
+		fatal(err)
+	}
+	st := site.Stats()
+	fmt.Fprintf(os.Stderr,
+		"dbdc-site %s: streamed %d points (window %d, %d turns), %d uploads (%d deltas, %d resyncs), sent %dB, received %dB\n",
+		id, st.Ingested, window, st.Turns, st.Uploads, st.DeltaUploads, st.Resyncs,
+		st.BytesSent, st.BytesReceived)
 }
 
 func fatal(err error) {

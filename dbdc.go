@@ -39,6 +39,7 @@ import (
 	"github.com/dbdc-go/dbdc/internal/model"
 	"github.com/dbdc-go/dbdc/internal/quality"
 	"github.com/dbdc-go/dbdc/internal/serve"
+	"github.com/dbdc-go/dbdc/internal/stream"
 	"github.com/dbdc-go/dbdc/internal/transport"
 	"github.com/dbdc-go/dbdc/internal/viz"
 )
@@ -334,6 +335,74 @@ type Incremental = incdbscan.Clusterer
 
 // NewIncremental returns an empty incremental clusterer.
 func NewIncremental(params Params) (*Incremental, error) { return incdbscan.New(params) }
+
+// LocalDelta is the incremental form of a local-model upload: the
+// representatives added and removed since an acknowledged base state. See
+// docs/streaming.md.
+type LocalDelta = model.LocalDelta
+
+// DeltaTracker derives the delta chain on the site side: Delta diffs a
+// model against the last committed state, Commit installs it after the
+// server acked.
+type DeltaTracker = model.DeltaTracker
+
+// NewDeltaTracker returns a tracker whose first delta is a snapshot.
+func NewDeltaTracker() *DeltaTracker { return model.NewDeltaTracker() }
+
+// DeltaFolder reassembles a site's model from its delta chain on the
+// server side.
+type DeltaFolder = model.DeltaFolder
+
+// NewDeltaFolder returns an empty folder; it accepts only a snapshot
+// first.
+func NewDeltaFolder() *DeltaFolder { return model.NewDeltaFolder() }
+
+// ClusterMatcher keeps cluster ids stable across model versions by
+// matching clusters on representative overlap.
+type ClusterMatcher = model.ClusterMatcher
+
+// NewClusterMatcher returns a matcher with no history.
+func NewClusterMatcher() *ClusterMatcher { return model.NewClusterMatcher() }
+
+// StreamClient uploads a streaming site's model updates to an update
+// server, negotiating delta versus full-model encoding by fallback.
+type StreamClient = transport.StreamClient
+
+// StreamUploadResult describes one StreamClient upload.
+type StreamUploadResult = transport.UploadResult
+
+// StreamUploadMode names the wire encoding an upload went out with.
+type StreamUploadMode = transport.UploadMode
+
+// Streaming upload modes, from preferred to fallback of last resort.
+const (
+	StreamModeDelta      = transport.ModeDelta
+	StreamModeTimedFull  = transport.ModeTimedFull
+	StreamModeLegacyFull = transport.ModeLegacyFull
+)
+
+// StreamStats is the stream-progress section a streaming site attaches to
+// its delta uploads.
+type StreamStats = transport.StreamStats
+
+// StreamSite ingests an unbounded point stream over a sliding window and
+// uploads model updates whenever the clustering changed considerably. See
+// docs/streaming.md.
+type StreamSite = stream.Site
+
+// StreamConfig parameterizes a streaming site.
+type StreamConfig = stream.Config
+
+// StreamSiteStats describes a streaming site's progress.
+type StreamSiteStats = stream.Stats
+
+// StreamUploader ships one model update; *StreamClient implements it.
+type StreamUploader = stream.Uploader
+
+// NewStreamSite returns a streaming site uploading through up.
+func NewStreamSite(cfg StreamConfig, up StreamUploader) (*StreamSite, error) {
+	return stream.NewSite(cfg, up)
+}
 
 // Partition assigns data set objects to sites.
 type Partition = data.Partition

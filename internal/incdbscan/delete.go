@@ -6,7 +6,8 @@ import (
 	"github.com/dbdc-go/dbdc/internal/cluster"
 )
 
-// Delete removes object i from the clustering (the deletion case of Ester
+// Delete removes object i from the clustering and releases its slot for
+// reuse by a later Insert (the deletion case of Ester
 // et al. 1998). Removing an object can demote neighbors from core to
 // non-core, which in turn can shrink, split or dissolve clusters. Only the
 // clusters of the lost cores (and of i itself, when i was core) can
@@ -18,8 +19,9 @@ import (
 //  4. objects left unreached become border objects of a neighboring
 //     unaffected cluster if one covers them, otherwise noise.
 //
-// Deleted objects keep their index; Labels reports them as Noise and
-// IsDeleted tells them apart from genuine noise.
+// A deleted object keeps its index until a later Insert recycles the slot;
+// while vacant, Labels reports it as Noise and IsDeleted tells it apart
+// from genuine noise.
 func (c *Clusterer) Delete(i int) error {
 	if i < 0 || i >= len(c.labels) {
 		return fmt.Errorf("incdbscan: delete of unknown object %d", i)
@@ -40,6 +42,8 @@ func (c *Clusterer) Delete(i int) error {
 		c.deleted = append(c.deleted, false)
 	}
 	c.deleted[i] = true
+	c.free = append(c.free, i)
+	c.live--
 
 	affected := make(map[cluster.ID]bool)
 	if c.core[i] {
@@ -127,13 +131,7 @@ func (c *Clusterer) IsDeleted(i int) bool {
 	return c.deleted != nil && i < len(c.deleted) && c.deleted[i]
 }
 
-// LiveCount returns the number of objects inserted and not deleted.
-func (c *Clusterer) LiveCount() int {
-	n := len(c.labels)
-	for _, d := range c.deleted {
-		if d {
-			n--
-		}
-	}
-	return n
-}
+// LiveCount returns the number of objects inserted and not deleted. It is
+// O(1): Insert and Delete maintain the counter, instead of the former scan
+// over the deleted marks on every call.
+func (c *Clusterer) LiveCount() int { return c.live }

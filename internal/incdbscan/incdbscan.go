@@ -39,6 +39,14 @@ type Clusterer struct {
 	parent []cluster.ID
 	// deleted marks removed objects (lazily allocated by Delete).
 	deleted []bool
+	// free lists deleted slots available for reuse, most recent last.
+	// Insert pops a slot from here before growing the per-object arrays, so
+	// a steady-state sliding window (delete oldest, insert newest) keeps
+	// bounded memory instead of growing O(total inserts).
+	free []int
+	// live counts objects inserted and not deleted, so LiveCount is O(1)
+	// instead of a scan over deleted.
+	live int
 	// scratch is the reused ε-neighborhood buffer. Updates are inherently
 	// sequential (the Clusterer is not safe for concurrent mutation), so a
 	// single buffer serves every range query whose result is consumed
@@ -105,19 +113,78 @@ func (c *Clusterer) newClusterID() cluster.ID {
 	return id
 }
 
-// Insert adds an object and updates the clustering. It returns the object's
-// index. The cost is one ε-range query for the new object plus one per
-// object that becomes core because of the insertion.
-func (c *Clusterer) Insert(p geom.Point) (int, error) {
-	if err := c.tree.Insert(p); err != nil {
-		return 0, err
+// parentSlack bounds how far the union-find forest may outgrow the object
+// arrays before Insert compacts it. Every cluster creation — in Insert and
+// in Delete's re-expansion — allocates a provisional id that is never
+// freed, so under sustained churn parent would otherwise grow O(total
+// operations) even with slot reuse.
+const parentSlack = 64
+
+// maybeCompact densely renumbers cluster ids when the union-find forest has
+// grown well past the object count. All ids in labels are provisional and
+// resolved through find before being exposed, and every consumer of the
+// labeling is renaming-invariant, so rewriting each label to a dense root
+// numbering is observationally safe.
+func (c *Clusterer) maybeCompact() {
+	if len(c.parent) <= 4*len(c.labels)+parentSlack {
+		return
 	}
-	idx := len(c.labels)
-	c.labels = append(c.labels, cluster.Unclassified)
-	c.core = append(c.core, false)
+	remap := make(map[cluster.ID]cluster.ID)
+	for i, id := range c.labels {
+		if id < 0 {
+			continue
+		}
+		root := c.find(id)
+		nid, ok := remap[root]
+		if !ok {
+			nid = cluster.ID(len(remap))
+			remap[root] = nid
+		}
+		c.labels[i] = nid
+	}
+	c.parent = c.parent[:0]
+	for i := range len(remap) {
+		c.parent = append(c.parent, cluster.ID(i))
+	}
+}
+
+// Insert adds an object and updates the clustering. It returns the object's
+// index; indices of deleted objects are recycled, so an index uniquely
+// names an object only for its lifetime. The cost is one ε-range query for
+// the new object plus one per object that becomes core because of the
+// insertion.
+func (c *Clusterer) Insert(p geom.Point) (int, error) {
+	c.maybeCompact()
+	var idx int
+	if n := len(c.free); n > 0 {
+		// Recycle the most recently deleted slot: the per-object arrays and
+		// the tree's point table stay bounded by the high-water mark of the
+		// live set instead of growing with every insert.
+		idx = c.free[n-1]
+		if err := c.tree.ReplaceAt(idx, p); err != nil {
+			return 0, err
+		}
+		c.free = c.free[:n-1]
+		c.labels[idx] = cluster.Unclassified
+		c.core[idx] = false
+		c.count[idx] = 0
+		c.deleted[idx] = false
+	} else {
+		if err := c.tree.Insert(p); err != nil {
+			return 0, err
+		}
+		idx = len(c.labels)
+		c.labels = append(c.labels, cluster.Unclassified)
+		c.core = append(c.core, false)
+		c.count = append(c.count, 0)
+		if c.deleted != nil {
+			c.deleted = append(c.deleted, false)
+		}
+	}
+	c.live++
 	c.scratch = c.tree.RangeAppend(p, c.params.Eps, c.scratch)
 	neighbors := c.scratch // consumed before the next range query below
-	c.count = append(c.count, len(neighbors))
+	c.count[idx] = len(neighbors)
 	// Update cached neighborhood cardinalities and detect objects whose
 	// core property flips — the seed set of the update.
 	var newCores []int

@@ -1,6 +1,7 @@
 package rstar
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -161,4 +162,92 @@ func TestDeleteDuplicatesByIndex(t *testing.T) {
 		}
 	}
 	checkInvariants(t, tr)
+}
+
+func TestReplaceAtErrors(t *testing.T) {
+	tr, _ := New([]geom.Point{{0, 0}, {1, 1}})
+	if err := tr.ReplaceAt(5, geom.Point{2, 2}); err == nil {
+		t.Error("out-of-range replace accepted")
+	}
+	if err := tr.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ReplaceAt(0, geom.Point{math.NaN(), 0}); err == nil {
+		t.Error("non-finite replacement accepted")
+	}
+	if err := tr.ReplaceAt(0, geom.Point{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := tr.ReplaceAt(0, geom.Point{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Range(geom.Point{7, 7}, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Range on replaced slot = %v", got)
+	}
+}
+
+// Property: churning delete + ReplaceAt over a fixed slot population keeps
+// the point table at its original size and answers range queries exactly
+// like a linear scan over the current slot contents.
+func TestReplaceAtChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const n = 300
+	pts := randomPoints(rng, n, 2)
+	cur := make([]geom.Point, n)
+	copy(cur, pts)
+	tr, err := NewBulk(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2000; step++ {
+		i := rng.Intn(n)
+		if err := tr.Delete(i); err != nil {
+			t.Fatalf("step %d delete %d: %v", step, i, err)
+		}
+		p := geom.Point{rng.NormFloat64() * 4, rng.NormFloat64() * 4}
+		if err := tr.ReplaceAt(i, p); err != nil {
+			t.Fatalf("step %d replace %d: %v", step, i, err)
+		}
+		cur[i] = p
+		if len(tr.pts) != n {
+			t.Fatalf("step %d: point table grew to %d slots", step, len(tr.pts))
+		}
+		if step%400 == 399 {
+			checkInvariants(t, tr)
+			query := randomPoints(rng, 1, 2)[0]
+			eps := rng.Float64() * 4
+			var want []int
+			for j, q := range cur {
+				if (geom.Euclidean{}).Distance(q, query) <= eps {
+					want = append(want, j)
+				}
+			}
+			got := tr.Range(query, eps)
+			sort.Ints(got)
+			sort.Ints(want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: range mismatch under replace churn", step)
+			}
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+// After deleting every point, ReplaceAt restarts the tree like Insert does.
+func TestReplaceAtFromEmpty(t *testing.T) {
+	tr, _ := New([]geom.Point{{0, 0}, {1, 1}})
+	for i := 0; i < 2; i++ {
+		if err := tr.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.ReplaceAt(1, geom.Point{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.Range(geom.Point{3, 3}, 0.1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Range after restart = %v", got)
+	}
 }

@@ -142,6 +142,36 @@ func (t *Tree) Insert(p geom.Point) error {
 	return nil
 }
 
+// ReplaceAt re-occupies slot idx — which the caller must previously have
+// removed with Delete — with a new point. The slot keeps its index, so
+// callers that address objects by tree index (e.g. a sliding-window
+// incremental clusterer) can recycle slots instead of growing pts forever.
+// Replacing a slot that is still present would corrupt the tree with a
+// duplicate entry; the tree cannot detect this cheaply, so the contract is
+// the caller's to uphold.
+func (t *Tree) ReplaceAt(idx int, p geom.Point) error {
+	if idx < 0 || idx >= len(t.pts) {
+		return fmt.Errorf("rstar: replace of unknown slot %d", idx)
+	}
+	if !p.IsFinite() {
+		return fmt.Errorf("rstar: non-finite point %v", p)
+	}
+	t.store = nil
+	if t.root == nil {
+		// Every point was deleted; the tree restarts from this one and may
+		// change dimensionality like a fresh Insert would.
+		t.dim = p.Dim()
+		t.root = &node{level: 0}
+	} else if p.Dim() != t.dim {
+		return fmt.Errorf("rstar: point dimensionality %d, tree has %d", p.Dim(), t.dim)
+	}
+	t.pts[idx] = p
+	t.size++
+	reinserted := make(map[int]bool)
+	t.insertEntry(entry{rect: geom.RectFromPoint(p), idx: int32(idx)}, 0, reinserted)
+	return nil
+}
+
 // insertEntry places e into a node at the given level and resolves overflows
 // with forced reinsertion (once per level per logical insertion) or splits.
 func (t *Tree) insertEntry(e entry, level int, reinserted map[int]bool) {

@@ -56,6 +56,23 @@ const (
 	// means no constraints.
 	MsgHelloAck byte = 0x31
 
+	// MsgModelDelta carries a model.LocalDelta — the incremental form of a
+	// local model upload used by streaming sites — immediately followed by
+	// optional trailer sections (stream statistics, per-phase metrics; see
+	// stream.go). The delta encoding is self-delimiting like the timed
+	// upload's. The server folds the delta into its per-site model table
+	// and answers with MsgDeltaAck. Servers that predate the type either
+	// close the connection (round servers) or answer MsgError (old update
+	// servers); the streaming client treats both as a downgrade signal and
+	// falls back to full MsgLocalModelTimed uploads (negotiation by
+	// fallback, as established by MsgLocalModelTimed and MsgHello).
+	MsgModelDelta byte = 0x40
+	// MsgDeltaAck answers MsgModelDelta. Its sectioned payload carries the
+	// applied sequence number and the server's global model version, or a
+	// resync demand when the delta's base did not match the folded state
+	// (the site then resets its tracker and sends a snapshot delta).
+	MsgDeltaAck byte = 0x41
+
 	// Classification protocol (the read side served by internal/serve):
 	// requests classify arbitrary points against the currently published
 	// global model. The payload of both request types is an EncodePoints

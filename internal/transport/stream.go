@@ -1,0 +1,381 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// This file implements the wire side of the always-on streaming round: the
+// MsgModelDelta / MsgDeltaAck exchange and the StreamClient that a
+// streaming site (internal/stream) uploads through.
+//
+// Wire layout of a MsgModelDelta payload:
+//
+//	[ model.LocalDelta bytes ][ section ]*
+//
+// and of a MsgDeltaAck payload:
+//
+//	[ section ]*
+//
+// both using the section format of phases.go, so either side can grow the
+// exchange without a new message type and unknown sections are skipped.
+const (
+	// sectionDeltaAck is the server's answer to a delta upload: status,
+	// applied sequence number, global model version.
+	sectionDeltaAck byte = 0x05
+	// sectionStreamStats is the optional stream-progress section a
+	// streaming site attaches to its delta uploads.
+	sectionStreamStats byte = 0x06
+
+	deltaAckVersion byte = 1
+	// deltaAckBodyLen: version byte, status u8, applied seq u64, global
+	// model version u64.
+	deltaAckBodyLen = 1 + 1 + 8 + 8
+
+	streamStatsVersion byte = 1
+	// streamStatsBodyLen: version byte, window u32, window turns u64,
+	// change metric f64.
+	streamStatsBodyLen = 1 + 4 + 8 + 8
+
+	// Delta ack status codes.
+	deltaAckOK     byte = 0
+	deltaAckResync byte = 1
+)
+
+// DeltaAck is the server's decoded answer to a delta upload.
+type DeltaAck struct {
+	// Resync reports that the delta's base sequence did not match the
+	// server's folded state: the site must reset its tracker and send a
+	// snapshot delta.
+	Resync bool
+	// Seq is the applied sequence number (on resync: the server's current
+	// folded sequence, 0 when it holds nothing for the site).
+	Seq uint64
+	// GlobalVersion is the server's global model rebuild counter at reply
+	// time. With a debounced rebuild the fold may not be reflected yet;
+	// versions are monotone, so classify clients can still order models.
+	GlobalVersion uint64
+}
+
+// encodeDeltaAck builds a MsgDeltaAck payload.
+func encodeDeltaAck(a DeltaAck) []byte {
+	dst := make([]byte, 0, sectionHeaderSize+deltaAckBodyLen)
+	dst = append(dst, sectionDeltaAck)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(deltaAckBodyLen))
+	dst = append(dst, deltaAckVersion)
+	status := deltaAckOK
+	if a.Resync {
+		status = deltaAckResync
+	}
+	dst = append(dst, status)
+	dst = binary.LittleEndian.AppendUint64(dst, a.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, a.GlobalVersion)
+	return dst
+}
+
+// parseDeltaAck decodes a MsgDeltaAck payload. A payload without a readable
+// ack section is an error — unlike the informational sections, the ack IS
+// the reply.
+func parseDeltaAck(data []byte) (DeltaAck, error) {
+	var ack DeltaAck
+	found := false
+	err := walkSections(data, func(id byte, body []byte) {
+		if id == sectionDeltaAck && len(body) >= deltaAckBodyLen && body[0] == deltaAckVersion {
+			ack.Resync = body[1] == deltaAckResync
+			ack.Seq = binary.LittleEndian.Uint64(body[2:10])
+			ack.GlobalVersion = binary.LittleEndian.Uint64(body[10:18])
+			found = true
+		}
+	})
+	if err != nil {
+		return DeltaAck{}, err
+	}
+	if !found {
+		return DeltaAck{}, fmt.Errorf("transport: delta ack without ack section")
+	}
+	return ack, nil
+}
+
+// StreamStats is the stream-progress section a streaming site attaches to
+// its delta uploads: informational, surfaced by the server for operators.
+type StreamStats struct {
+	// Window is the site's sliding-window size in objects.
+	Window int
+	// Turns is how often the window content has fully turned over.
+	Turns uint64
+	// Change is the clustering-change metric (1 − P^II against the last
+	// transmitted snapshot) that triggered this upload.
+	Change float64
+}
+
+// appendStreamStatsSection appends the encoded stream section to dst.
+func appendStreamStatsSection(dst []byte, st StreamStats) []byte {
+	dst = append(dst, sectionStreamStats)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(streamStatsBodyLen))
+	dst = append(dst, streamStatsVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(st.Window))
+	dst = binary.LittleEndian.AppendUint64(dst, st.Turns)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Change))
+	return dst
+}
+
+// parseStreamSections walks the section area of a delta upload and returns
+// the stream stats and site phases when present; unknown sections are
+// skipped, malformed areas are an error (same contract as parseSections).
+func parseStreamSections(data []byte) (*StreamStats, *SitePhases, error) {
+	var stats *StreamStats
+	var phases *SitePhases
+	err := walkSections(data, func(id byte, body []byte) {
+		switch id {
+		case sectionStreamStats:
+			if len(body) >= streamStatsBodyLen && body[0] == streamStatsVersion {
+				stats = &StreamStats{
+					Window: int(binary.LittleEndian.Uint32(body[1:5])),
+					Turns:  binary.LittleEndian.Uint64(body[5:13]),
+					Change: math.Float64frombits(binary.LittleEndian.Uint64(body[13:21])),
+				}
+			}
+		case sectionSitePhases:
+			if p, ok := parseSitePhasesBody(body); ok {
+				phases = &p
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats, phases, nil
+}
+
+// UploadMode names the wire encoding a StreamClient upload went out with.
+type UploadMode int
+
+const (
+	// ModeDelta is the streaming MsgModelDelta upload.
+	ModeDelta UploadMode = iota
+	// ModeTimedFull is the full-model MsgLocalModelTimed fallback.
+	ModeTimedFull
+	// ModeLegacyFull is the original MsgLocalModel upload, the fallback of
+	// last resort.
+	ModeLegacyFull
+)
+
+// String names the mode for logs.
+func (m UploadMode) String() string {
+	switch m {
+	case ModeDelta:
+		return "delta"
+	case ModeTimedFull:
+		return "full-timed"
+	case ModeLegacyFull:
+		return "full-legacy"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// UploadResult describes one StreamClient upload.
+type UploadResult struct {
+	// Mode is the encoding that finally succeeded.
+	Mode UploadMode
+	// Downgraded reports that this call moved the client to a more
+	// conservative mode (delta → full-timed → full-legacy). The mode is
+	// sticky: later uploads start from it.
+	Downgraded bool
+	// Resync reports the server demanded a snapshot (delta mode only); the
+	// upload itself carried no state change.
+	Resync bool
+	// Seq is the acknowledged sequence number (delta mode only).
+	Seq uint64
+	// GlobalVersion is the server's global rebuild counter from the ack
+	// (delta mode only; full uploads receive the model itself instead).
+	GlobalVersion uint64
+	// Global is the global model the server replied with (full-upload
+	// modes only — the delta exchange deliberately keeps the downlink to
+	// an ack, trusting the classify tier for reads).
+	Global *model.GlobalModel
+	// BytesSent and BytesReceived are this call's wire cost, all attempts
+	// summed.
+	BytesSent     int
+	BytesReceived int
+}
+
+// errDeltaRejected marks a server that answered a delta frame with
+// MsgError: old update servers reject unknown frame types that way instead
+// of closing the connection, so it is a downgrade signal, not a fault.
+var errDeltaRejected = errors.New("transport: server rejected delta frame")
+
+// StreamClient uploads a streaming site's model updates to an update
+// server, negotiating the encoding by fallback: deltas while the server
+// folds them, full models against older servers. Not safe for concurrent
+// use — a streaming site uploads sequentially.
+type StreamClient struct {
+	// Addr is the update server address ("host:port").
+	Addr string
+	// Timeout bounds dialing and each connection's I/O; 0 means 30s.
+	Timeout time.Duration
+	// Dial opens connections; nil means net.DialTimeout.
+	Dial DialFunc
+	// DisableDelta forces full uploads from the start, skipping the
+	// negotiation against servers known to predate deltas.
+	DisableDelta bool
+
+	mode        UploadMode
+	initialized bool
+}
+
+// Mode returns the wire encoding the next upload will attempt.
+func (c *StreamClient) Mode() UploadMode {
+	c.init()
+	return c.mode
+}
+
+func (c *StreamClient) init() {
+	if !c.initialized {
+		c.initialized = true
+		if c.DisableDelta {
+			c.mode = ModeTimedFull
+		}
+	}
+}
+
+// Upload ships one model update: the delta when the client is (still) in
+// delta mode, the full model otherwise. A rejection by an older server
+// downgrades the mode for this and all later calls and retries immediately
+// on a fresh connection; genuine faults (dial errors, timeouts, MsgError on
+// a full upload) are returned to the caller, who simply uploads again on
+// the next change round. A Resync result carries no error: the caller must
+// reset its tracker and upload a snapshot delta.
+func (c *StreamClient) Upload(full *model.LocalModel, delta *model.LocalDelta, stats *StreamStats) (*UploadResult, error) {
+	c.init()
+	res := &UploadResult{}
+	if c.mode == ModeDelta {
+		if delta == nil {
+			return nil, fmt.Errorf("transport: delta-mode upload without a delta")
+		}
+		err := c.uploadDelta(delta, stats, res)
+		if err == nil {
+			res.Mode = ModeDelta
+			return res, nil
+		}
+		if !frameRejected(err) && !errors.Is(err, errDeltaRejected) {
+			return nil, err
+		}
+		// Negotiation fallback: the peer closed without a reply (round
+		// servers) or answered MsgError (old update servers). Stay on full
+		// uploads from now on.
+		c.mode = ModeTimedFull
+		res.Downgraded = true
+	}
+	payload, err := full.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if c.mode == ModeTimedFull {
+		err := c.uploadFull(MsgLocalModelTimed, payload, res)
+		if err == nil {
+			res.Mode = ModeTimedFull
+			return res, nil
+		}
+		if !frameRejected(err) {
+			return nil, err
+		}
+		c.mode = ModeLegacyFull
+		res.Downgraded = true
+	}
+	if err := c.uploadFull(MsgLocalModel, payload, res); err != nil {
+		return nil, err
+	}
+	res.Mode = ModeLegacyFull
+	return res, nil
+}
+
+// uploadDelta performs the MsgModelDelta/MsgDeltaAck exchange.
+func (c *StreamClient) uploadDelta(delta *model.LocalDelta, stats *StreamStats, res *UploadResult) error {
+	payload, err := delta.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if stats != nil {
+		payload = appendStreamStatsSection(payload, *stats)
+	}
+	msgType, reply, err := c.roundTrip(MsgModelDelta, payload, res)
+	if err != nil {
+		return err
+	}
+	switch msgType {
+	case MsgDeltaAck:
+		ack, err := parseDeltaAck(reply)
+		if err != nil {
+			return permanent(err)
+		}
+		res.Resync = ack.Resync
+		res.Seq = ack.Seq
+		res.GlobalVersion = ack.GlobalVersion
+		return nil
+	case MsgError:
+		return fmt.Errorf("%w: %s", errDeltaRejected, reply)
+	default:
+		return permanent(fmt.Errorf("transport: unexpected reply 0x%02x to delta upload", msgType))
+	}
+}
+
+// uploadFull performs a full-model upload expecting a MsgGlobalModel reply.
+func (c *StreamClient) uploadFull(frameType byte, payload []byte, res *UploadResult) error {
+	msgType, reply, err := c.roundTrip(frameType, payload, res)
+	if err != nil {
+		return err
+	}
+	switch msgType {
+	case MsgGlobalModel:
+		var global model.GlobalModel
+		if err := global.UnmarshalBinary(reply); err != nil {
+			return permanent(err)
+		}
+		if err := global.Validate(); err != nil {
+			return permanent(err)
+		}
+		res.Global = &global
+		return nil
+	case MsgError:
+		return permanent(fmt.Errorf("transport: server reported: %s", reply))
+	default:
+		return permanent(fmt.Errorf("transport: unexpected reply 0x%02x to model upload", msgType))
+	}
+}
+
+// roundTrip opens a fresh connection (the update server handles one
+// exchange per connection), writes one frame and reads the reply.
+func (c *StreamClient) roundTrip(msgType byte, payload []byte, res *UploadResult) (byte, []byte, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	dial := c.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	conn, err := dial("tcp", c.Addr, timeout)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	sent, err := WriteFrame(conn, msgType, payload)
+	res.BytesSent += sent
+	if err != nil {
+		return 0, nil, err
+	}
+	replyType, reply, received, err := ReadFrame(conn)
+	res.BytesReceived += received
+	if err != nil {
+		return 0, nil, err
+	}
+	return replyType, reply, nil
+}

@@ -14,23 +14,44 @@ import (
 )
 
 // UpdateServer is the long-running variant of the DBDC server for
-// incremental deployments: sites connect whenever their local clustering
-// has changed considerably (cf. Section 4 of the paper and the incremental
-// DBSCAN site mode), upload a fresh local model, and immediately receive a
-// global model rebuilt from the newest model of every site seen so far.
-// Stale models of silent sites stay in effect — the server never has to
-// wait for all sites.
+// incremental and streaming deployments: sites connect whenever their local
+// clustering has changed considerably (cf. Section 4 of the paper and the
+// incremental DBSCAN site mode) and upload either a full local model
+// (MsgLocalModel / MsgLocalModelTimed — answered with the rebuilt global
+// model) or a streaming delta (MsgModelDelta — folded into the per-site
+// model table and answered with a MsgDeltaAck, with the global rebuild
+// optionally debounced; see SetDebounce). Stale models of silent sites stay
+// in effect — the server never has to wait for all sites.
+//
+// Global cluster ids are stable across rebuilds: every rebuilt model is
+// relabeled by representative overlap against its predecessor
+// (model.ClusterMatcher), so classify clients see coherent ids while the
+// clustering churns underneath them.
 type UpdateServer struct {
-	cfg     dbdc.Config
-	timeout time.Duration
-	ln      net.Listener
+	cfg      dbdc.Config
+	timeout  time.Duration
+	ln       net.Listener
+	debounce time.Duration
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 
 	mu     sync.Mutex
 	models map[string]*model.LocalModel
-	global *model.GlobalModel
+	folds  map[string]*model.DeltaFolder
+	// streams retains the latest stream-progress section per streaming
+	// site, informational.
+	streams map[string]StreamStats
+	global  *model.GlobalModel
+	stable  *model.ClusterMatcher
+	// version counts completed global rebuilds; the delta ack carries it.
+	version uint64
+	// dirty/rebuildPending/closed drive the debounced rebuild; rebuildErr
+	// records the outcome of the last (possibly asynchronous) rebuild.
+	dirty          bool
+	rebuildPending bool
+	closed         bool
+	rebuildErr     error
 
 	// onGlobal, when set, receives every rebuilt global model (see
 	// SetOnGlobal).
@@ -43,6 +64,68 @@ type UpdateServer struct {
 // monotonically versioned). Keep the callback fast — it serializes with
 // concurrent updates. Set it once, before Serve.
 func (s *UpdateServer) SetOnGlobal(fn func(*model.GlobalModel)) { s.onGlobal = fn }
+
+// SetDebounce sets the rebuild debounce for delta uploads: folds arriving
+// within d of each other coalesce into one global rebuild, so a burst of
+// streaming sites does not trigger a GlobalStep per delta. 0 (the default)
+// rebuilds synchronously on every fold. Full-model uploads always rebuild
+// synchronously — their reply is the rebuilt global model. Set it once,
+// before Serve.
+func (s *UpdateServer) SetDebounce(d time.Duration) { s.debounce = d }
+
+// Version returns the number of completed global rebuilds.
+func (s *UpdateServer) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// WaitVersion blocks until the rebuild counter reaches v or the timeout
+// expires, reporting whether it did. Intended for tests and orderly
+// shutdown around debounced rebuilds.
+func (s *UpdateServer) WaitVersion(v uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Version() >= v {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Flush forces a pending debounced rebuild to run now. It returns the
+// rebuild error, or nil when nothing was pending.
+func (s *UpdateServer) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty || s.closed {
+		return nil
+	}
+	s.dirty = false
+	_, err := s.rebuildLocked()
+	return err
+}
+
+// LastRebuildErr returns the error of the most recent global rebuild (nil
+// after a successful one). Debounced rebuilds have no connection to report
+// their failure to; this surfaces it.
+func (s *UpdateServer) LastRebuildErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildErr
+}
+
+// StreamInfo returns the latest stream-progress section the given site
+// attached to a delta upload, if any.
+func (s *UpdateServer) StreamInfo(siteID string) (StreamStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[siteID]
+	return st, ok
+}
 
 // BytesIn returns the total frame bytes received from sites.
 func (s *UpdateServer) BytesIn() int64 { return s.bytesIn.Load() }
@@ -67,14 +150,23 @@ func NewUpdateServer(addr string, cfg dbdc.Config, timeout time.Duration) (*Upda
 		timeout: timeout,
 		ln:      ln,
 		models:  make(map[string]*model.LocalModel),
+		folds:   make(map[string]*model.DeltaFolder),
+		streams: make(map[string]StreamStats),
+		stable:  model.NewClusterMatcher(),
 	}, nil
 }
 
 // Addr returns the listen address.
 func (s *UpdateServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting connections.
-func (s *UpdateServer) Close() error { return s.ln.Close() }
+// Close stops accepting connections and cancels any pending debounced
+// rebuild.
+func (s *UpdateServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
 
 // Sites returns the ids of the sites whose models are currently retained,
 // sorted.
@@ -136,12 +228,35 @@ func (s *UpdateServer) handleUpdate(conn net.Conn) {
 		return
 	}
 	s.bytesIn.Add(int64(n))
-	if msgType != MsgLocalModel {
+	switch msgType {
+	case MsgLocalModel, MsgLocalModelTimed:
+		s.handleFullModel(conn, msgType, payload)
+	case MsgModelDelta:
+		s.handleDelta(conn, payload)
+	default:
 		s.reply(conn, MsgError, []byte("expected local model"))
-		return
 	}
+}
+
+// handleFullModel processes a full-model upload (legacy or timed frame):
+// store, synchronous rebuild, global model reply.
+func (s *UpdateServer) handleFullModel(conn net.Conn, msgType byte, payload []byte) {
 	var m model.LocalModel
-	if err := m.UnmarshalBinary(payload); err != nil {
+	if msgType == MsgLocalModelTimed {
+		// The timed frame is the model followed by optional sections
+		// (phase metrics etc.) — parsed for well-formedness, otherwise
+		// ignored here: the update server has no round report to put
+		// them in.
+		consumed, err := m.UnmarshalBinaryPrefix(payload)
+		if err != nil {
+			s.reply(conn, MsgError, []byte(err.Error()))
+			return
+		}
+		if _, _, err := parseSections(payload[consumed:]); err != nil {
+			s.reply(conn, MsgError, []byte(err.Error()))
+			return
+		}
+	} else if err := m.UnmarshalBinary(payload); err != nil {
 		s.reply(conn, MsgError, []byte(err.Error()))
 		return
 	}
@@ -162,6 +277,52 @@ func (s *UpdateServer) handleUpdate(conn net.Conn) {
 	s.reply(conn, MsgGlobalModel, reply)
 }
 
+// handleDelta folds one streaming delta and acks it. The global rebuild is
+// debounced (SetDebounce), so the ack does not wait for a GlobalStep.
+func (s *UpdateServer) handleDelta(conn net.Conn, payload []byte) {
+	var d model.LocalDelta
+	consumed, err := d.UnmarshalBinaryPrefix(payload)
+	if err != nil {
+		s.reply(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	stats, _, err := parseStreamSections(payload[consumed:])
+	if err != nil {
+		s.reply(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	if err := d.Validate(); err != nil {
+		s.reply(conn, MsgError, []byte(err.Error()))
+		return
+	}
+	s.mu.Lock()
+	f := s.folds[d.SiteID]
+	if f == nil {
+		f = model.NewDeltaFolder()
+		s.folds[d.SiteID] = f
+	}
+	var ack DeltaAck
+	if err := f.Apply(&d); err != nil {
+		if !errors.Is(err, model.ErrDeltaBase) {
+			s.mu.Unlock()
+			s.reply(conn, MsgError, []byte(err.Error()))
+			return
+		}
+		// Sequence mismatch: demand a snapshot. The folded state is
+		// unchanged, so nothing to rebuild.
+		ack = DeltaAck{Resync: true, Seq: f.Seq(), GlobalVersion: s.version}
+	} else {
+		s.models[d.SiteID] = f.Model()
+		if stats != nil {
+			s.streams[d.SiteID] = *stats
+		}
+		s.scheduleRebuildLocked()
+		ack = DeltaAck{Seq: d.Seq, GlobalVersion: s.version}
+	}
+	s.mu.Unlock()
+	s.reply(conn, MsgDeltaAck, encodeDeltaAck(ack))
+}
+
 // reply writes one frame and accounts the bytes.
 func (s *UpdateServer) reply(conn net.Conn, msgType byte, payload []byte) {
 	if n, err := WriteFrame(conn, msgType, payload); err == nil {
@@ -170,11 +331,22 @@ func (s *UpdateServer) reply(conn net.Conn, msgType byte, payload []byte) {
 }
 
 // storeAndRebuild replaces the site's model and recomputes the global
-// model from the newest model of every site.
+// model from the newest model of every site. A full upload supersedes any
+// folded delta state for the site: the folder is dropped, so a later delta
+// from the same site gets a resync demand instead of applying against a
+// stale base.
 func (s *UpdateServer) storeAndRebuild(m *model.LocalModel) (*model.GlobalModel, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.models[m.SiteID] = m
+	delete(s.folds, m.SiteID)
+	return s.rebuildLocked()
+}
+
+// rebuildLocked recomputes the global model from the newest model of every
+// site, relabels it for stable cluster ids and publishes it. Caller holds
+// s.mu.
+func (s *UpdateServer) rebuildLocked() (*model.GlobalModel, error) {
 	ids := make([]string, 0, len(s.models))
 	for id := range s.models {
 		ids = append(ids, id)
@@ -186,13 +358,50 @@ func (s *UpdateServer) storeAndRebuild(m *model.LocalModel) (*model.GlobalModel,
 	}
 	global, err := dbdc.GlobalStep(all, s.cfg)
 	if err != nil {
+		s.rebuildErr = err
 		return nil, err
 	}
+	if !global.Empty() {
+		// An empty rebuild (all reps churned out mid-turn) keeps the
+		// matcher's history so clusters reappearing next version can still
+		// claim their ids.
+		s.stable.RelabelGlobal(global)
+	}
 	s.global = global
+	s.version++
+	s.rebuildErr = nil
 	if s.onGlobal != nil {
 		// Under s.mu: sinks see rebuilds in rebuild order, which keeps a
 		// registry fed from here strictly monotone.
 		s.onGlobal(global)
 	}
 	return global, nil
+}
+
+// scheduleRebuildLocked requests a global rebuild after a delta fold. With
+// no debounce it runs immediately; otherwise folds arriving within the
+// debounce window coalesce into one rebuild. Caller holds s.mu.
+func (s *UpdateServer) scheduleRebuildLocked() {
+	if s.debounce <= 0 {
+		s.rebuildLocked()
+		return
+	}
+	s.dirty = true
+	if s.rebuildPending || s.closed {
+		return
+	}
+	s.rebuildPending = true
+	time.AfterFunc(s.debounce, s.flushRebuild)
+}
+
+// flushRebuild is the debounce timer callback: run the coalesced rebuild if
+// one is still wanted.
+func (s *UpdateServer) flushRebuild() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildPending = false
+	if s.dirty && !s.closed {
+		s.dirty = false
+		s.rebuildLocked()
+	}
 }
