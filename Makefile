@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke benchdiff loadgen-smoke vet experiments examples clean
+.PHONY: all build test test-short test-race check fuzz-smoke bench bench-json bench-smoke benchdiff loadgen-smoke agg-smoke vet experiments examples clean
 
 all: build vet test
 
@@ -31,6 +31,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz 'FuzzReadFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzBudgetSections -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzAggSections -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzLocalModelUnmarshal -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzGlobalModelUnmarshal -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/model/ -run '^$$' -fuzz FuzzLocalDeltaUnmarshal -fuzztime $(FUZZTIME)
@@ -45,8 +46,9 @@ bench:
 # Hot-path benchmark sweep recorded as a committed artifact: runs the
 # BenchmarkLocalClustering suite (naive-vs-fast kernels, flat-store bulk
 # loads, worker scaling) plus BenchmarkStoreKernels (strided vs slice
-# distance kernels, allocation-free range loops) and converts the output
-# into BENCH_<shortrev>.json via cmd/benchjson. The raw
+# distance kernels, allocation-free range loops) and
+# BenchmarkLoadgenClassify (loopback classification serving throughput)
+# and converts the output into BENCH_<shortrev>.json via cmd/benchjson. The raw
 # text passes through to stdout unchanged, so the same pipeline feeds
 # benchstat:
 #
@@ -56,13 +58,13 @@ bench:
 # See docs/performance.md for how to read the JSON.
 BENCHFLAGS ?=
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels' -benchmem $(BENCHFLAGS) . \
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels|BenchmarkLoadgenClassify' -benchmem $(BENCHFLAGS) . \
 		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD)
 
 # One-iteration smoke over the hot-path suite: catches benchmarks that no
 # longer compile or crash, without paying measurement time. CI runs this.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels|BenchmarkLoadgenClassify' -benchtime 1x -benchmem .
 
 # Run the hot-path suite and diff it against the committed baseline artifact
 # with cmd/benchdiff. BASELINE defaults to the newest committed BENCH_*.json;
@@ -73,7 +75,7 @@ BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 DIFFFLAGS ?=
 benchdiff:
 	@test -n "$(BASELINE)" || { echo "benchdiff: no committed BENCH_*.json baseline"; exit 1; }
-	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels' -benchmem $(BENCHFLAGS) . \
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalClustering|BenchmarkStoreKernels|BenchmarkLoadgenClassify' -benchmem $(BENCHFLAGS) . \
 		| $(GO) run ./cmd/benchjson -rev $$(git rev-parse --short HEAD) -out /tmp/dbdc-bench-new.json >/dev/null
 	$(GO) run ./cmd/benchdiff $(DIFFFLAGS) $(BASELINE) /tmp/dbdc-bench-new.json
 
@@ -83,6 +85,14 @@ benchdiff:
 # docs/serving.md). CI runs this plus the serve package under -race.
 loadgen-smoke:
 	$(GO) test -race -run 'TestLoadgenSmoke' -count=1 -v ./internal/serve/
+
+# Aggregation-tree smoke: boots a loopback two-level tree out of the real
+# binaries (4 dbdc-site -> 2 dbdc-agg -> dbdc-server), checks every
+# process exits clean, every site labels all its points against the root
+# model, and the provenance sections reach the root's report. See
+# docs/hierarchy.md. CI runs this plus internal/aggtree under -race.
+agg-smoke:
+	sh scripts/agg_smoke.sh
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	lib "github.com/dbdc-go/dbdc"
@@ -590,6 +591,88 @@ func BenchmarkLocalClustering(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(out.Budget.CoverageFraction(), "coverage-fraction")
 			b.ReportMetric(float64(out.Model.EncodedSize()), "uplink-bytes")
+		})
+	}
+}
+
+// BenchmarkLoadgenClassify measures the online classification front end
+// end-to-end over loopback TCP: a ClassifyServer answering MsgClassify /
+// MsgClassifyBatch against the paper-sized data-set-A model, driven
+// closed-loop by persistent-connection clients (the in-process twin of
+// cmd/dbdc-loadgen). One op is one request round trip carrying batch
+// points; conc splits the b.N requests over that many concurrent
+// connections, so ns/op is throughput-reciprocal, not per-request
+// latency. On a single-CPU host — this repo's benchmark container —
+// conc>1 measures interleaving and queueing, not parallel speedup;
+// points/s is the honest throughput number. Via `make bench-json` the
+// entries land in BENCH_<rev>.json so cmd/benchdiff tracks serving cost
+// next to the clustering kernels.
+func BenchmarkLoadgenClassify(b *testing.B) {
+	ds := lib.DatasetA(8_700, 1)
+	out, err := lib.LocalStep("bench-site", ds.Points, lib.Config{Local: ds.Params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	global, err := lib.GlobalStep([]*lib.LocalModel{out.Model}, lib.Config{Local: ds.Params})
+	if err != nil {
+		b.Fatal(err)
+	}
+	registry := lib.NewModelRegistry("")
+	if _, err := registry.Publish(global); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := lib.NewClassifyServer("127.0.0.1:0", lib.ClassifyServerConfig{Registry: registry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve()
+
+	for _, tc := range []struct{ conc, batch int }{{1, 1}, {1, 32}, {4, 1}, {4, 32}} {
+		b.Run(fmt.Sprintf("conc=%d/batch=%d", tc.conc, tc.batch), func(b *testing.B) {
+			clients := make([]*lib.ClassifyClient, tc.conc)
+			for i := range clients {
+				c, err := lib.DialClassify(srv.Addr(), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				clients[i] = c
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, tc.conc)
+			for w := 0; w < tc.conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c := clients[w]
+					for i := w; i < b.N; i += tc.conc {
+						// Cycle through the dataset at staggered offsets so
+						// requests exercise different index regions.
+						off := (i * tc.batch) % (len(ds.Points) - tc.batch)
+						if tc.batch == 1 {
+							if _, _, err := c.Classify(ds.Points[off]); err != nil {
+								errs <- err
+								return
+							}
+							continue
+						}
+						if _, _, err := c.ClassifyBatch(ds.Points[off : off+tc.batch]); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+			b.ReportMetric(float64(tc.batch)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 		})
 	}
 }

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, fig7a, fig7b, fig8, fig9, fig10, fig11, transmission, budgets, baselines, comparison, dimensions, optics-sweep, partitions, incremental")
+	run := flag.String("run", "all", "experiment to run: all, fig7a, fig7b, fig8, fig9, fig10, fig11, transmission, budgets, hierarchy, baselines, comparison, dimensions, optics-sweep, partitions, incremental")
 	seed := flag.Int64("seed", 2004, "random seed for data generation and partitioning")
 	scale := flag.Float64("scale", 1.0, "cardinality scale in (0,1]; use small values for quick runs")
 	idx := flag.String("index", "rstar", "neighborhood index: rstar, kdtree, grid, linear, mtree")

@@ -1,0 +1,297 @@
+package dbdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/dbscan"
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/model"
+)
+
+// condenseTestConfig is the shared site configuration of the condensation
+// tests: two dense blobs per site plus background noise cluster cleanly.
+func condenseTestConfig() Config {
+	return Config{Local: dbscan.Params{Eps: 1.5, MinPts: 4}}
+}
+
+// condenseTestSites builds n site outcomes over clustered synthetic data.
+func condenseTestSites(t *testing.T, n int, rng *rand.Rand) []*LocalOutcome {
+	t.Helper()
+	cfg := condenseTestConfig()
+	outcomes := make([]*LocalOutcome, n)
+	for s := 0; s < n; s++ {
+		var pts []geom.Point
+		for c := 0; c < 2; c++ {
+			cx, cy := float64(10+20*c), float64(10+5*s)
+			for i := 0; i < 60; i++ {
+				pts = append(pts, geom.Point{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+			}
+		}
+		for i := 0; i < 10; i++ {
+			pts = append(pts, geom.Point{rng.Float64() * 100, rng.Float64() * 100})
+		}
+		o, err := LocalStep(siteName(s), pts, cfg)
+		if err != nil {
+			t.Fatalf("LocalStep site %d: %v", s, err)
+		}
+		outcomes[s] = o
+	}
+	return outcomes
+}
+
+func siteName(s int) string { return string(rune('a'+s)) + "-site" }
+
+func siteModels(outcomes []*LocalOutcome) []*model.LocalModel {
+	models := make([]*model.LocalModel, len(outcomes))
+	for i, o := range outcomes {
+		models[i] = o.Model
+	}
+	return models
+}
+
+// TestCondenseGlobalLossless verifies the unbudgeted condensation is the
+// identity on the representative set: every global representative comes
+// back with its point, specific ε-range and regional cluster id intact, and
+// the model's radius is the regional EpsGlobal (the eps propagation rule).
+func TestCondenseGlobalLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	outcomes := condenseTestSites(t, 3, rng)
+	cfg := condenseTestConfig()
+	g, err := GlobalStep(siteModels(outcomes), cfg)
+	if err != nil {
+		t.Fatalf("GlobalStep: %v", err)
+	}
+	if g.Empty() || len(g.Reps) == 0 {
+		t.Fatalf("test data produced an empty global model")
+	}
+
+	o, err := CondenseGlobal("agg-0", g, cfg)
+	if err != nil {
+		t.Fatalf("CondenseGlobal: %v", err)
+	}
+	m := o.Model
+	if err := m.Validate(); err != nil {
+		t.Fatalf("condensed model invalid: %v", err)
+	}
+	if m.SiteID != "agg-0" {
+		t.Errorf("SiteID = %q, want agg-0", m.SiteID)
+	}
+	if m.EpsLocal != g.EpsGlobal {
+		t.Errorf("EpsLocal = %v, want regional EpsGlobal %v", m.EpsLocal, g.EpsGlobal)
+	}
+	if m.MinPts != g.MinPtsGlobal {
+		t.Errorf("MinPts = %v, want regional MinPtsGlobal %v", m.MinPts, g.MinPtsGlobal)
+	}
+	if m.NumClusters != g.NumClusters {
+		t.Errorf("NumClusters = %d, want %d", m.NumClusters, g.NumClusters)
+	}
+	if len(m.Reps) != len(g.Reps) {
+		t.Fatalf("condensed model has %d reps, want %d (lossless)", len(m.Reps), len(g.Reps))
+	}
+	// The representative multiset must survive exactly; order may change
+	// (condensation groups by cluster id).
+	type repKey struct {
+		x, y, eps float64
+	}
+	want := make(map[repKey]int, len(g.Reps))
+	cluster := make(map[repKey]int)
+	for _, r := range g.Reps {
+		k := repKey{r.Point[0], r.Point[1], r.Eps}
+		want[k]++
+		cluster[k] = int(r.GlobalCluster)
+	}
+	for _, r := range m.Reps {
+		k := repKey{r.Point[0], r.Point[1], r.Eps}
+		if want[k] == 0 {
+			t.Fatalf("condensed rep %+v not in the global model", r)
+		}
+		want[k]--
+		if int(r.LocalCluster) != cluster[k] {
+			t.Errorf("rep %+v carries LocalCluster %d, want regional cluster %d",
+				r, r.LocalCluster, cluster[k])
+		}
+	}
+}
+
+// TestCondenseGlobalRoundTrip verifies the interior-node path end to end: a
+// parent GlobalStep over condensed regional models produces the same
+// partition of the representative union as the flat merge over all site
+// models — the tree is lossless when no budget is applied.
+func TestCondenseGlobalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	outcomes := condenseTestSites(t, 4, rng)
+	models := siteModels(outcomes)
+	cfg := condenseTestConfig()
+
+	flat, err := GlobalStep(models, cfg)
+	if err != nil {
+		t.Fatalf("flat GlobalStep: %v", err)
+	}
+
+	// Two regions of two sites, each merged and condensed, then the root.
+	var condensed []*model.LocalModel
+	for i := 0; i < 2; i++ {
+		regional, err := GlobalStep(models[2*i:2*i+2], cfg)
+		if err != nil {
+			t.Fatalf("regional GlobalStep %d: %v", i, err)
+		}
+		o, err := CondenseGlobal(siteName(10+i), regional, cfg)
+		if err != nil {
+			t.Fatalf("CondenseGlobal %d: %v", i, err)
+		}
+		condensed = append(condensed, o.Model)
+	}
+	tree, err := GlobalStep(condensed, cfg)
+	if err != nil {
+		t.Fatalf("root GlobalStep: %v", err)
+	}
+
+	if tree.NumClusters != flat.NumClusters {
+		t.Fatalf("tree found %d clusters, flat %d", tree.NumClusters, flat.NumClusters)
+	}
+	if len(tree.Reps) != len(flat.Reps) {
+		t.Fatalf("tree clustered %d reps, flat %d", len(tree.Reps), len(flat.Reps))
+	}
+	// Same partition up to cluster-id renaming: group rep coordinates by
+	// global cluster and compare the groupings via a consistent bijection.
+	key := func(r model.GlobalRepresentative) [3]float64 {
+		return [3]float64{r.Point[0], r.Point[1], r.Eps}
+	}
+	flatID := make(map[[3]float64]int, len(flat.Reps))
+	for _, r := range flat.Reps {
+		flatID[key(r)] = int(r.GlobalCluster)
+	}
+	fwd := make(map[int]int)
+	back := make(map[int]int)
+	for _, r := range tree.Reps {
+		fid, ok := flatID[key(r)]
+		if !ok {
+			t.Fatalf("tree rep %+v missing from flat merge", r)
+		}
+		tid := int(r.GlobalCluster)
+		if prev, ok := fwd[tid]; ok && prev != fid {
+			t.Fatalf("tree cluster %d maps to flat clusters %d and %d", tid, prev, fid)
+		}
+		if prev, ok := back[fid]; ok && prev != tid {
+			t.Fatalf("flat cluster %d maps to tree clusters %d and %d", fid, prev, tid)
+		}
+		fwd[tid] = fid
+		back[fid] = tid
+	}
+}
+
+// TestCondenseGlobalEmptySentinel is the all-noise regression: an interior
+// node whose whole region found only noise must forward a valid,
+// representative-free model upward (never an invalid EpsLocal=0 one), and a
+// parent merging only such models must reproduce the empty sentinel instead
+// of erroring the round.
+func TestCondenseGlobalEmptySentinel(t *testing.T) {
+	cfg := condenseTestConfig()
+	rng := rand.New(rand.NewSource(3))
+
+	// All-noise sites: scattered points, no dense region.
+	var noiseModels []*model.LocalModel
+	for s := 0; s < 2; s++ {
+		var pts []geom.Point
+		for i := 0; i < 50; i++ {
+			pts = append(pts, geom.Point{rng.Float64() * 1000, rng.Float64() * 1000})
+		}
+		o, err := LocalStep(siteName(s), pts, cfg)
+		if err != nil {
+			t.Fatalf("LocalStep: %v", err)
+		}
+		if len(o.Model.Reps) != 0 {
+			t.Fatalf("noise site %d produced %d reps", s, len(o.Model.Reps))
+		}
+		noiseModels = append(noiseModels, o.Model)
+	}
+
+	regional, err := GlobalStep(noiseModels, cfg)
+	if err != nil {
+		t.Fatalf("regional GlobalStep: %v", err)
+	}
+	if !regional.Empty() {
+		t.Fatalf("all-noise region did not produce the empty sentinel: %+v", regional)
+	}
+
+	o, err := CondenseGlobal("agg-noise", regional, cfg)
+	if err != nil {
+		t.Fatalf("CondenseGlobal over the empty sentinel: %v", err)
+	}
+	if err := o.Model.Validate(); err != nil {
+		t.Fatalf("condensed all-noise model invalid: %v", err)
+	}
+	if len(o.Model.Reps) != 0 {
+		t.Fatalf("condensed all-noise model has %d reps", len(o.Model.Reps))
+	}
+	if o.Model.EpsLocal <= 0 {
+		t.Fatalf("condensed all-noise model leaked the sentinel radius: EpsLocal = %v", o.Model.EpsLocal)
+	}
+
+	// A parent over only all-noise regions reproduces the sentinel.
+	root, err := GlobalStep([]*model.LocalModel{o.Model}, cfg)
+	if err != nil {
+		t.Fatalf("parent GlobalStep over all-noise region: %v", err)
+	}
+	if !root.Empty() {
+		t.Fatalf("sentinel did not propagate through the interior node: %+v", root)
+	}
+
+	// A parent mixing an all-noise region with a real one merges the real
+	// representatives and ignores the empty upload.
+	good := condenseTestSites(t, 1, rng)[0]
+	root, err = GlobalStep([]*model.LocalModel{o.Model, good.Model}, cfg)
+	if err != nil {
+		t.Fatalf("parent GlobalStep over mixed regions: %v", err)
+	}
+	if root.Empty() || len(root.Reps) != len(good.Model.Reps) {
+		t.Fatalf("mixed merge lost representatives: got %d, want %d", len(root.Reps), len(good.Model.Reps))
+	}
+}
+
+// TestCondenseGlobalBudget verifies the per-level budget path: a budgeted
+// condensation caps representatives per regional cluster via the standard
+// selector, and BudgetedModel re-derivation plus the SetNumObjects override
+// both behave like they do for a budgeted site outcome.
+func TestCondenseGlobalBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	outcomes := condenseTestSites(t, 3, rng)
+	cfg := condenseTestConfig()
+	g, err := GlobalStep(siteModels(outcomes), cfg)
+	if err != nil {
+		t.Fatalf("GlobalStep: %v", err)
+	}
+
+	budgeted := cfg
+	budgeted.RepBudget = 2
+	o, err := CondenseGlobal("agg-0", g, budgeted)
+	if err != nil {
+		t.Fatalf("CondenseGlobal: %v", err)
+	}
+	if len(o.Model.Reps) >= len(g.Reps) {
+		t.Fatalf("budget 2 kept all %d reps", len(g.Reps))
+	}
+	if len(o.Model.Reps) > 2*g.NumClusters {
+		t.Fatalf("budget 2 over %d clusters kept %d reps", g.NumClusters, len(o.Model.Reps))
+	}
+	if err := o.Model.Validate(); err != nil {
+		t.Fatalf("budgeted condensed model invalid: %v", err)
+	}
+
+	o.SetNumObjects(12345)
+	if o.Model.NumObjects != 12345 {
+		t.Fatalf("SetNumObjects not applied: %d", o.Model.NumObjects)
+	}
+	// Re-derivation at a different budget keeps the cardinality override.
+	m, _, err := o.BudgetedModel(1)
+	if err != nil {
+		t.Fatalf("BudgetedModel(1): %v", err)
+	}
+	if m.NumObjects != 12345 {
+		t.Fatalf("BudgetedModel dropped the NumObjects override: %d", m.NumObjects)
+	}
+	if len(m.Reps) > g.NumClusters {
+		t.Fatalf("budget 1 over %d clusters kept %d reps", g.NumClusters, len(m.Reps))
+	}
+}

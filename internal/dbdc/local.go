@@ -55,6 +55,11 @@ type LocalOutcome struct {
 	// retained so BudgetedModel can re-condense the clustering at a
 	// different budget during transport negotiation.
 	cfg Config
+	// numObjects, when positive, overrides the model's NumObjects: a
+	// condensed outcome (CondenseGlobal) clusters representatives, but the
+	// compression statistics want the cardinality of the objects those
+	// representatives stand for (SetNumObjects).
+	numObjects int
 }
 
 // LocalStep performs steps 1 and 2 of DBDC on one site: cluster the local
@@ -172,7 +177,11 @@ func (o *LocalOutcome) BudgetedModel(budget int) (*model.LocalModel, dbscan.Budg
 	if budget == o.RepBudget && o.Model != nil {
 		return o.Model, o.Budget, nil
 	}
-	return buildLocalModel(o.SiteID, o.Points, o.Clustering, o.cfg, budget)
+	m, stats, err := buildLocalModel(o.SiteID, o.Points, o.Clustering, o.cfg, budget)
+	if err == nil && o.numObjects > 0 {
+		m.NumObjects = o.numObjects
+	}
+	return m, stats, err
 }
 
 // MaxScorPerCluster returns the size of the largest unbudgeted specific

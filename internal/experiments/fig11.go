@@ -57,7 +57,7 @@ func Fig11(opt Options) (*Table, error) {
 // All runs every experiment in paper order, plus the transmission-cost
 // extension table.
 func All(opt Options) ([]*Table, error) {
-	runs := []func(Options) (*Table, error){Fig7a, Fig7b, Fig8, Fig9, Fig10, Fig11, Transmission, Budgets, Baselines, Comparison, Dimensions, OpticsSweep, Partitions, Incremental}
+	runs := []func(Options) (*Table, error){Fig7a, Fig7b, Fig8, Fig9, Fig10, Fig11, Transmission, Budgets, Hierarchy, Baselines, Comparison, Dimensions, OpticsSweep, Partitions, Incremental}
 	tables := make([]*Table, 0, len(runs))
 	for _, run := range runs {
 		t, err := run(opt)
@@ -88,6 +88,8 @@ func ByID(id string) (func(Options) (*Table, error), error) {
 		return Transmission, nil
 	case "budgets":
 		return Budgets, nil
+	case "hierarchy":
+		return Hierarchy, nil
 	case "baselines":
 		return Baselines, nil
 	case "comparison":
@@ -101,6 +103,6 @@ func ByID(id string) (func(Options) (*Table, error), error) {
 	case "incremental":
 		return Incremental, nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have fig7a fig7b fig8 fig9 fig10 fig11 transmission budgets baselines comparison dimensions optics-sweep partitions incremental)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have fig7a fig7b fig8 fig9 fig10 fig11 transmission budgets hierarchy baselines comparison dimensions optics-sweep partitions incremental)", id)
 	}
 }

@@ -20,7 +20,7 @@ import (
 func TestSiteBudgetSectionRoundTrip(t *testing.T) {
 	want := SiteBudget{RepBudget: 4, RepsDropped: 17, CoverageFraction: 0.875}
 	data := appendSiteBudgetSection(nil, want)
-	_, got, err := parseSections(data)
+	_, got, _, err := parseSections(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestSiteBudgetSectionRoundTrip(t *testing.T) {
 	// Phases and budget coexisting in one section area, any order.
 	phases := SitePhases{Workers: 2, Cluster: time.Second, Attempt: 1}
 	data = appendSiteBudgetSection(appendSitePhasesSection(nil, phases), want)
-	p, b, err := parseSections(data)
+	p, b, _, err := parseSections(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestSiteBudgetSectionUnknownVersionIgnored(t *testing.T) {
 	data := []byte{sectionSiteBudget}
 	data = binary.LittleEndian.AppendUint32(data, uint32(len(body)))
 	data = append(data, body...)
-	_, got, err := parseSections(data)
+	_, got, _, err := parseSections(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func timedModelServer(t *testing.T, cfg dbdc.Config) string {
 					return
 				}
 				if msgType == MsgLocalModelTimed {
-					if _, _, serr := parseSections(payload[consumed:]); serr != nil {
+					if _, _, _, serr := parseSections(payload[consumed:]); serr != nil {
 						return
 					}
 				} else if consumed != len(payload) {
@@ -542,12 +542,12 @@ func FuzzBudgetSections(f *testing.F) {
 	f.Add(seed)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		phases, budget, err := parseSections(data)
+		phases, budget, _, err := parseSections(data)
 		if err == nil && budget != nil {
 			// Accepted budget sections must round-trip canonically
 			// through the appender.
 			re := appendSiteBudgetSection(nil, *budget)
-			_, back, rerr := parseSections(re)
+			_, back, _, rerr := parseSections(re)
 			if rerr != nil || back == nil {
 				t.Fatalf("re-encoded budget section rejected: %v", rerr)
 			}

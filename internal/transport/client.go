@@ -122,6 +122,15 @@ type Client struct {
 	// predate the sectioned upload, skipping the downgrade negotiation.
 	DisableTimedUpload bool
 
+	// AppendSections, when set, appends extra sections to every sectioned
+	// (timed or budgeted) upload payload after the standard metric
+	// sections. This is how an aggregation-tree node attaches its
+	// provenance section (AppendAggLevelSection) without the transport
+	// depending on the tree. Legacy downgrades drop the extra sections
+	// together with the standard ones — an old parent sees a plain model,
+	// consistent with the skip-unknown ladder.
+	AppendSections func(dst []byte) []byte
+
 	rngOnce sync.Once
 	rng     *rand.Rand
 }
@@ -198,6 +207,9 @@ func (c *Client) SendModelTimed(local *model.LocalModel, phases *SitePhases) (*m
 			p.Attempt = attempt
 			p.Backoff = totalBackoff
 			payload = appendSitePhasesSection(append([]byte(nil), modelBytes...), p)
+			if c.AppendSections != nil {
+				payload = c.AppendSections(payload)
+			}
 		}
 		global, as, err := c.exchangeOnce(payload, timed)
 		as.Attempt = attempt

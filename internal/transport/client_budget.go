@@ -211,6 +211,9 @@ func (c *Client) budgetedPayload(outcome *dbdc.LocalOutcome, budget int, phases 
 		RepsDropped:      stats.Dropped(),
 		CoverageFraction: stats.CoverageFraction(),
 	})
+	if c.AppendSections != nil {
+		payload = c.AppendSections(payload)
+	}
 	return payload, stats, nil
 }
 

@@ -98,13 +98,14 @@ func parseSitePhasesBody(body []byte) (SitePhases, bool) {
 }
 
 // parseSections walks the section area of a timed upload and returns the
-// site phases and budget sections when present. Unknown sections are
-// skipped (walkSections); a malformed section area (truncated header or
-// body) is an error — the bytes passed the frame CRC, so truncation here
-// means a broken encoder, not line noise.
-func parseSections(data []byte) (*SitePhases, *SiteBudget, error) {
+// site phases, budget and aggregation-provenance sections when present.
+// Unknown sections are skipped (walkSections); a malformed section area
+// (truncated header or body) is an error — the bytes passed the frame CRC,
+// so truncation here means a broken encoder, not line noise.
+func parseSections(data []byte) (*SitePhases, *SiteBudget, *AggLevel, error) {
 	var phases *SitePhases
 	var budget *SiteBudget
+	var agg *AggLevel
 	err := walkSections(data, func(id byte, body []byte) {
 		switch id {
 		case sectionSitePhases:
@@ -115,12 +116,23 @@ func parseSections(data []byte) (*SitePhases, *SiteBudget, error) {
 			if b, ok := parseSiteBudgetBody(body); ok {
 				budget = &b
 			}
+		case sectionAggLevel:
+			if a, ok := parseAggLevelBody(body); ok {
+				agg = &a
+			}
 		}
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return phases, budget, nil
+	return phases, budget, agg, nil
+}
+
+// ParseSections exposes the section walk for tests and fuzzing: it decodes
+// the section area of a timed upload (everything after the self-delimiting
+// model prefix) into the known sections, skipping unknown ids.
+func ParseSections(data []byte) (*SitePhases, *SiteBudget, *AggLevel, error) {
+	return parseSections(data)
 }
 
 // AttemptStats describes one connection attempt of a SendModel call.
@@ -229,6 +241,20 @@ func (r *RoundReport) BenchReport(rev, prefix string) *benchio.Report {
 			e.Metrics["reps-dropped"] = float64(bd.RepsDropped)
 			e.Metrics["coverage-fraction"] = bd.CoverageFraction
 		}
+		// A child that is itself an aggregator carries its subtree's
+		// provenance: its height, fan-in and per-level phase costs, so a
+		// multi-level tree's timings are reconstructible from the root's
+		// report alone.
+		if a := site.Agg; a != nil {
+			e.Metrics["agg-level"] = float64(a.Level)
+			e.Metrics["agg-children-ok"] = float64(a.SitesOK)
+			e.Metrics["agg-children-expected"] = float64(a.SitesExpected)
+			e.Metrics["agg-objects"] = float64(a.Objects)
+			e.Metrics["agg-regional-clusters"] = float64(a.RegionalClusters)
+			e.Metrics["agg-round-ns"] = float64(a.RoundDuration.Nanoseconds())
+			e.Metrics["agg-global-ns"] = float64(a.GlobalStepDuration.Nanoseconds())
+			e.Metrics["agg-condense-ns"] = float64(a.CondenseDuration.Nanoseconds())
+		}
 		rep.Entries = append(rep.Entries, e)
 	}
 	rep.Entries = append(rep.Entries, benchio.Entry{
@@ -243,6 +269,9 @@ func (r *RoundReport) BenchReport(rev, prefix string) *benchio.Report {
 			"conns":          float64(r.Conns),
 			"global-ns":      float64(r.GlobalStepDuration.Nanoseconds()),
 			"broadcast-ns":   float64(r.BroadcastDuration.Nanoseconds()),
+			"forward-ns":     float64(r.ForwardDuration.Nanoseconds()),
+			"objects-total":  float64(r.ObjectsTotal),
+			"reps-total":     float64(r.RepsTotal),
 			"uplink-bytes":   float64(r.UplinkBytes),
 			"downlink-bytes": float64(r.DownlinkBytes),
 		},

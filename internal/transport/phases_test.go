@@ -29,7 +29,7 @@ func TestSitePhasesSectionRoundTrip(t *testing.T) {
 		Backoff:  78 * time.Millisecond,
 	}
 	data := appendSitePhasesSection(nil, want)
-	got, _, err := parseSections(data)
+	got, _, _, err := parseSections(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestParseSectionsSkipsUnknown(t *testing.T) {
 	data = appendSitePhasesSection(data, phases)
 	data = append(data, 0x42)
 	data = binary.LittleEndian.AppendUint32(data, 0)
-	got, _, err := parseSections(data)
+	got, _, _, err := parseSections(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestParseSectionsUnknownBodyVersionIgnored(t *testing.T) {
 	data := []byte{sectionSitePhases}
 	data = binary.LittleEndian.AppendUint32(data, uint32(len(body)))
 	data = append(data, body...)
-	got, _, err := parseSections(data)
+	got, _, _, err := parseSections(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestParseSectionsUnknownBodyVersionIgnored(t *testing.T) {
 func TestParseSectionsTruncated(t *testing.T) {
 	full := appendSitePhasesSection(nil, SitePhases{Workers: 1})
 	for _, cut := range []int{1, sectionHeaderSize - 1, sectionHeaderSize + 2, len(full) - 1} {
-		if _, _, err := parseSections(full[:cut]); err == nil {
+		if _, _, _, err := parseSections(full[:cut]); err == nil {
 			t.Errorf("truncation at %d bytes accepted", cut)
 		}
 	}

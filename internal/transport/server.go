@@ -125,6 +125,17 @@ type RoundOptions struct {
 	// Sites that never delivered a usable model are then listed by name
 	// in the report even if they never connected.
 	ExpectedSites []string
+	// Finalize, when set, runs between the global step and the broadcast
+	// and may replace the model the round publishes and broadcasts. This
+	// is the interior-node hook of the aggregation tree
+	// (internal/aggtree): a non-root aggregator condenses the regional
+	// model, uploads it to its parent, and returns the parent's global
+	// model — so its children relabel against the root's model, not the
+	// regional one. An error fails the round; the children then receive a
+	// MsgError instead of a global model and surface it like any other
+	// round failure. The report already carries the child-round totals
+	// when Finalize runs; its ForwardDuration is filled in afterwards.
+	Finalize func(*model.GlobalModel, *RoundReport) (*model.GlobalModel, error)
 }
 
 // SiteOutcome is one site's (or anonymous connection's) fate in a round.
@@ -143,6 +154,9 @@ type SiteOutcome struct {
 	Attempts int
 	// Bytes is the wire size read from the successful connection.
 	Bytes int
+	// Objects and Reps are the delivered model's object cardinality and
+	// representative count; zero when no usable model arrived.
+	Objects, Reps int
 	// Duration is how long reading the model took.
 	Duration time.Duration
 	// Phases is the client-reported per-phase breakdown (worker count,
@@ -153,6 +167,12 @@ type SiteOutcome struct {
 	// Budget is the representative-budget accounting of a budgeted
 	// upload (sectionSiteBudget); nil for unbudgeted or legacy uploads.
 	Budget *SiteBudget
+	// Agg is the aggregation provenance of a condensed upload
+	// (sectionAggLevel): set when this "site" is really an interior node
+	// of the aggregation tree forwarding its region's merged model, nil
+	// for plain sites. This is how per-level round reports chain — each
+	// level sees its children's child-round summaries.
+	Agg *AggLevel
 	// Negotiated reports whether the connection performed the
 	// MsgHello/MsgHelloAck budget handshake before uploading.
 	Negotiated bool
@@ -177,6 +197,16 @@ type RoundReport struct {
 	// to every usable site.
 	GlobalStepDuration time.Duration
 	BroadcastDuration  time.Duration
+	// ForwardDuration is the cost of RoundOptions.Finalize — for an
+	// interior tree node, condensing the regional model and exchanging it
+	// with the parent. Zero when no Finalize hook ran.
+	ForwardDuration time.Duration
+	// ObjectsTotal and RepsTotal sum the usable site models' object
+	// cardinalities and representative counts — what the round actually
+	// merged, and what an interior node reports upward as its region's
+	// weight.
+	ObjectsTotal int
+	RepsTotal    int
 	// UplinkBytes is the wire size of all usable uploads this round;
 	// DownlinkBytes of all global-model replies.
 	UplinkBytes   int
@@ -237,6 +267,9 @@ func (r *RoundReport) String() string {
 					b.WriteString(" negotiated")
 				}
 			}
+			if a := site.Agg; a != nil {
+				fmt.Fprintf(&b, " agg[%s]", a.String())
+			}
 		} else {
 			addr := site.Addr
 			if addr == "" {
@@ -265,6 +298,7 @@ type readResult struct {
 	m          *model.LocalModel
 	phases     *SitePhases // client-reported metrics, nil for legacy uploads
 	budget     *SiteBudget // budget accounting, nil for unbudgeted uploads
+	agg        *AggLevel   // aggregation provenance, nil for plain sites
 	negotiated bool        // connection performed the budget handshake
 	err        error
 	bytes      int
@@ -340,13 +374,14 @@ func (s *Server) readLocalModel(conn net.Conn, deadline time.Time, out chan<- re
 		res.err = fmt.Errorf("model: %d trailing bytes after local model", len(payload)-consumed)
 	default:
 		if msgType == MsgLocalModelTimed {
-			phases, budget, serr := parseSections(payload[consumed:])
+			phases, budget, agg, serr := parseSections(payload[consumed:])
 			if serr != nil {
 				res.err = serr
 				break
 			}
 			res.phases = phases
 			res.budget = budget
+			res.agg = agg
 		}
 		if verr := m.Validate(); verr != nil {
 			res.err = verr
@@ -553,6 +588,24 @@ func (s *Server) RunRoundOpts(opts RoundOptions) (*model.GlobalModel, *RoundRepo
 		report.Duration = time.Since(start)
 		return nil, report, err
 	}
+	if opts.Finalize != nil {
+		// Interior tree node: condense the regional model, forward it to
+		// the parent, and broadcast whatever comes back (the root's
+		// model) to the children. On error the children get a MsgError —
+		// an unreachable parent fails the whole subtree's round rather
+		// than silently serving a regional model as if it were global.
+		forwardStart := time.Now()
+		finalized, ferr := opts.Finalize(global, report)
+		report.ForwardDuration = time.Since(forwardStart)
+		if ferr != nil {
+			closeGood(ferr.Error())
+			report.Duration = time.Since(start)
+			return nil, report, fmt.Errorf("transport: finalize: %w", ferr)
+		}
+		if finalized != nil {
+			global = finalized
+		}
+	}
 	if s.onGlobal != nil {
 		// Publish before the broadcast: classification readers switch to
 		// the new model no later than the sites that trained it.
@@ -601,15 +654,20 @@ func (s *Server) buildReport(start time.Time, quorum int, good map[string]readRe
 			report.Retried++
 		}
 		report.UplinkBytes += r.bytes
+		report.ObjectsTotal += r.m.NumObjects
+		report.RepsTotal += len(r.m.Reps)
 		report.Sites = append(report.Sites, SiteOutcome{
 			SiteID:     id,
 			Addr:       r.addr,
 			OK:         true,
 			Attempts:   attempts[id],
 			Bytes:      r.bytes,
+			Objects:    r.m.NumObjects,
+			Reps:       len(r.m.Reps),
 			Duration:   r.dur,
 			Phases:     r.phases,
 			Budget:     r.budget,
+			Agg:        r.agg,
 			Negotiated: r.negotiated,
 		})
 	}

@@ -252,7 +252,7 @@ func (s *UpdateServer) handleFullModel(conn net.Conn, msgType byte, payload []by
 			s.reply(conn, MsgError, []byte(err.Error()))
 			return
 		}
-		if _, _, err := parseSections(payload[consumed:]); err != nil {
+		if _, _, _, err := parseSections(payload[consumed:]); err != nil {
 			s.reply(conn, MsgError, []byte(err.Error()))
 			return
 		}
