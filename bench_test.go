@@ -565,6 +565,48 @@ func BenchmarkLocalClustering(b *testing.B) {
 			runOnce(b, idx, o)
 		})
 	}
+	// Spatial sharding vs index-chunking on the same store-backed index:
+	// shard/<kind> lets RunParallel partition the site by grid cells with an
+	// ε-halo and cluster each cell against its cache-local sub-index;
+	// chunked/<kind> forces the contiguous-chunk fallback on the identical
+	// index, so the delta is exactly what spatial locality buys (or costs).
+	// Both run 4 workers — on a single-CPU host the numbers measure
+	// coordination overhead, not speedup; benchdiff flags that via the
+	// recorded core count.
+	for _, kind := range []index.Kind{index.KindGrid, index.KindKDTree, index.KindRStar} {
+		for _, mode := range []struct {
+			name     string
+			sharding dbscan.ShardingMode
+		}{
+			{"shard", dbscan.ShardingAuto},
+			{"chunked", dbscan.ShardingOff},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, kind), func(b *testing.B) {
+				idx, err := index.BuildStore(kind, ds.Store, geom.Euclidean{}, ds.Params.Eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				o := opts
+				o.Workers = 4
+				o.Sharding = mode.sharding
+				b.ReportAllocs()
+				var queries, shards int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := dbscan.RunParallel(idx, params, o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					queries, shards = res.RangeQueries, res.Shards
+				}
+				b.ReportMetric(float64(queries), "range-queries/op")
+				b.ReportMetric(float64(shards), "shards/op")
+				if mode.sharding == dbscan.ShardingAuto && shards < 2 {
+					b.Fatal("shard variant fell back to the chunked path")
+				}
+			})
+		}
+	}
 	// SDBDC representative budgets: the full LocalStep (clustering,
 	// condensation, greedy budget selection) with a per-cluster cap, on the
 	// paper-sized site. budget=0 is the unbudgeted baseline, so BENCH_*.json

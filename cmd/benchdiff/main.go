@@ -76,6 +76,9 @@ func main() {
 		fmt.Printf("WARNING: artifacts differ in %s — deltas are not comparable measurements\n",
 			strings.Join(mismatch, ", "))
 	}
+	for _, w := range benchio.CoreCountWarnings(oldRep, newRep) {
+		fmt.Printf("WARNING: %s\n", w)
+	}
 	fmt.Print(res)
 	if *failOnRegression && res.Regressions > 0 {
 		os.Exit(1)

@@ -15,10 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
 	"github.com/dbdc-go/dbdc/internal/benchio"
-	"github.com/dbdc-go/dbdc/internal/geom"
 	"github.com/dbdc-go/dbdc/internal/profiles"
 )
 
@@ -60,17 +58,7 @@ func run(rev, out string) error {
 		return fmt.Errorf("no benchmark results found on stdin")
 	}
 	rep.Rev = rev
-	rep.NumCPU = runtime.NumCPU()
-	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
-	rep.KernelDispatch = geom.KernelDispatch()
-	// The goos/goarch headers normally come from the benchmark text; fall
-	// back to this process's runtime when the input lacked them.
-	if rep.GoOS == "" {
-		rep.GoOS = runtime.GOOS
-	}
-	if rep.GoArch == "" {
-		rep.GoArch = runtime.GOARCH
-	}
+	benchio.StampHost(rep)
 	f, err := os.Create(out)
 	if err != nil {
 		return err

@@ -18,9 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
 )
 
 // Entry is one parsed benchmark result line.
@@ -91,6 +94,53 @@ func (r *Report) Host() string {
 		return "(no host metadata)"
 	}
 	return strings.Join(parts, ", ")
+}
+
+// StampHost fills the report's host-parallelism metadata from the running
+// process: core count, GOMAXPROCS, the distance-kernel build, and the
+// goos/goarch fallback when the benchmark text did not carry the headers.
+// Every producer of artifacts — cmd/benchjson, the loadgen report, the
+// networked RoundReport conversion — stamps through this one helper so no
+// artifact ships without the context benchdiff needs to judge
+// comparability (see CoreCountWarnings).
+func StampHost(rep *Report) {
+	rep.NumCPU = runtime.NumCPU()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.KernelDispatch = geom.KernelDispatch()
+	if rep.GoOS == "" {
+		rep.GoOS = runtime.GOOS
+	}
+	if rep.GoArch == "" {
+		rep.GoArch = runtime.GOARCH
+	}
+}
+
+// CoreCountWarnings explains, in complete sentences, why the parallelism-
+// sensitive entries of two artifacts (parallel/workers=N, shard/<kind>,
+// LoadgenClassify) may not be comparable: a side missing core-count
+// metadata entirely, the two sides measured on different core counts, or
+// both sides measured on a single-CPU host where worker scaling can only
+// show overhead, never speedup. HostMismatch flags the raw field
+// difference; these messages are the prominent human-readable version
+// cmd/benchdiff prints alongside.
+func CoreCountWarnings(a, b *Report) []string {
+	var warns []string
+	if a.NumCPU == 0 {
+		warns = append(warns, "old artifact records no core count (num_cpu); worker-scaling deltas cannot be validated against the host")
+	}
+	if b.NumCPU == 0 {
+		warns = append(warns, "new artifact records no core count (num_cpu); worker-scaling deltas cannot be validated against the host")
+	}
+	if a.NumCPU > 0 && b.NumCPU > 0 {
+		if a.NumCPU != b.NumCPU {
+			warns = append(warns, fmt.Sprintf(
+				"artifacts were measured on different core counts (old %d, new %d) — parallel worker and shard entries are not comparable",
+				a.NumCPU, b.NumCPU))
+		} else if a.NumCPU == 1 {
+			warns = append(warns, "both artifacts come from a single-CPU host: parallel worker and shard entries measure coordination overhead, not speedup")
+		}
+	}
+	return warns
 }
 
 // HostMismatch lists the host-metadata fields on which the two reports

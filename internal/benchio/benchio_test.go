@@ -138,3 +138,43 @@ func TestHostMetadata(t *testing.T) {
 		t.Fatalf("self mismatch: %v", m)
 	}
 }
+
+func TestStampHost(t *testing.T) {
+	rep := &Report{}
+	StampHost(rep)
+	if rep.NumCPU < 1 || rep.GoMaxProcs < 1 {
+		t.Fatalf("StampHost left parallelism metadata empty: %+v", rep)
+	}
+	if rep.KernelDispatch == "" || rep.GoOS == "" || rep.GoArch == "" {
+		t.Fatalf("StampHost left build metadata empty: %+v", rep)
+	}
+	// Header-provided platform fields win over the runtime fallback.
+	rep2 := &Report{GoOS: "plan9", GoArch: "riscv64"}
+	StampHost(rep2)
+	if rep2.GoOS != "plan9" || rep2.GoArch != "riscv64" {
+		t.Fatalf("StampHost overwrote parsed headers: %+v", rep2)
+	}
+}
+
+func TestCoreCountWarnings(t *testing.T) {
+	eight := &Report{NumCPU: 8}
+	four := &Report{NumCPU: 4}
+	one := &Report{NumCPU: 1}
+	none := &Report{}
+
+	if w := CoreCountWarnings(eight, eight); len(w) != 0 {
+		t.Fatalf("same multicore hosts warned: %v", w)
+	}
+	if w := CoreCountWarnings(eight, four); len(w) != 1 || !strings.Contains(w[0], "different core counts (old 8, new 4)") {
+		t.Fatalf("differing core counts: %v", w)
+	}
+	if w := CoreCountWarnings(one, one); len(w) != 1 || !strings.Contains(w[0], "single-CPU") {
+		t.Fatalf("single-CPU hosts: %v", w)
+	}
+	if w := CoreCountWarnings(none, eight); len(w) != 1 || !strings.Contains(w[0], "old artifact records no core count") {
+		t.Fatalf("missing old metadata: %v", w)
+	}
+	if w := CoreCountWarnings(none, none); len(w) != 2 {
+		t.Fatalf("both missing: %v", w)
+	}
+}

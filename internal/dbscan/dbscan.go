@@ -47,7 +47,28 @@ type Options struct {
 	// The core partition and cluster numbering are identical to the
 	// sequential run; see RunParallel for the border-point tie rule.
 	Workers int
+	// Sharding controls how RunParallel partitions phase 1. The zero value
+	// ShardingAuto shards the dataset spatially (grid cells of side ≥ ε
+	// plus an ε-halo, each clustered against a cache-local sub-index)
+	// whenever the index is store-backed over the Euclidean metric and the
+	// geometry supports it, falling back to contiguous index chunks
+	// otherwise. ShardingOff forces the chunked path; benchmarks use it to
+	// compare the two on identical inputs. Results are identical either
+	// way — see RunParallel.
+	Sharding ShardingMode
 }
+
+// ShardingMode selects RunParallel's phase 1 partitioning strategy.
+type ShardingMode int
+
+const (
+	// ShardingAuto spatially shards store-backed Euclidean indexes and
+	// falls back to index-chunking for everything else (non-store indexes,
+	// non-finite coordinates, ε covering the bounding box).
+	ShardingAuto ShardingMode = iota
+	// ShardingOff always uses the contiguous index-chunk partitioning.
+	ShardingOff
+)
 
 // Result holds the outcome of a DBSCAN run.
 type Result struct {
@@ -66,6 +87,10 @@ type Result struct {
 	// RangeQueries counts the region queries issued — the dominant cost of
 	// DBSCAN and the quantity its complexity analysis is stated in.
 	RangeQueries int
+	// Shards is the number of spatial shards RunParallel's phase 1
+	// clustered independently; 0 when the run was sequential or used the
+	// chunked fallback.
+	Shards int
 }
 
 // NumClusters returns the number of clusters found.

@@ -142,13 +142,13 @@ func (r *LoadResult) BenchReport(rev string) *benchio.Report {
 		entry.Metrics["max-queue"] = float64(r.MaxQueueDepth)
 		entry.Metrics["dropped"] = float64(r.ArrivalsDropped)
 	}
-	return &benchio.Report{
-		Rev:        rev,
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Entries:    []benchio.Entry{entry},
+	rep := &benchio.Report{
+		Rev:       rev,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Entries:   []benchio.Entry{entry},
 	}
+	benchio.StampHost(rep)
+	return rep
 }
 
 // loadStats aggregates the counters shared by the closed- and open-loop

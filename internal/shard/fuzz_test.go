@@ -1,0 +1,187 @@
+package shard_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+	"github.com/dbdc-go/dbdc/internal/shard"
+)
+
+// coordBytes encodes coordinates as the little-endian float64 stream the
+// fuzz target decodes rows from.
+func coordBytes(vals ...float64) []byte {
+	buf := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// FuzzShardAssign pins the grid partitioner's contract on arbitrary
+// geometry:
+//
+//   - every row lands in exactly one owner cell, and Plan.Owner agrees with
+//     the region membership;
+//   - halo membership stays inside the ε-dilated cell rectangle (up to the
+//     documented haloSlack retreat), and own ∪ halo has no duplicates, so
+//     the own+halo row list round-trips through the row-id remapping the
+//     shard-parallel DBSCAN phase performs;
+//   - the halo is complete: any two rows within ε of each other see each
+//     other through own ∪ halo of either one's region — the property that
+//     makes per-shard range queries exact.
+//
+// Degenerate inputs (NaN/Inf coordinates, absurd ε, every row identical)
+// must yield a nil plan, never a malformed one.
+func FuzzShardAssign(f *testing.F) {
+	// Two separated blobs, the bread-and-butter shape.
+	f.Add(uint8(2), 0.5, uint8(8), coordBytes(
+		0.1, 0.2, 0.3, 0.1, 0.2, 0.4, 0.15, 0.3, 0.35, 0.25,
+		5.1, 5.2, 5.3, 5.1, 5.2, 5.4, 5.15, 5.3, 5.35, 5.25,
+	))
+	// Exact-boundary lattice with ε equal to the spacing.
+	f.Add(uint8(2), 0.25, uint8(16), coordBytes(
+		0, 0, 0.25, 0, 0.5, 0, 0.75, 0, 1.0, 0,
+		0, 0.25, 0.25, 0.25, 0.5, 0.25, 0.75, 0.25, 1.0, 0.25,
+		0, 0.5, 0.25, 0.5, 0.5, 0.5, 0.75, 0.5, 1.0, 0.5,
+	))
+	// Duplicate stacks.
+	f.Add(uint8(2), 0.5, uint8(4), coordBytes(
+		1, 1, 1, 1, 1, 1, 4, 4, 4, 4, 4, 4, 8, 1, 8, 1,
+	))
+	// A 1-D line.
+	f.Add(uint8(1), 0.5, uint8(6), coordBytes(0, 0.1, 0.2, 5, 5.1, 5.2, 10, 10.1, 10.2))
+	// 3-D corners.
+	f.Add(uint8(3), 0.9, uint8(8), coordBytes(
+		0, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1,
+	))
+	// Degenerate: a NaN coordinate, then ε larger than the bounding box.
+	f.Add(uint8(2), 0.5, uint8(8), coordBytes(math.NaN(), 1, 2, 3, 4, 5, 6, 7))
+	f.Add(uint8(2), 100.0, uint8(8), coordBytes(0, 0, 1, 1, 2, 2, 3, 3))
+
+	f.Fuzz(func(t *testing.T, dimB uint8, eps float64, targetB uint8, data []byte) {
+		dim := int(dimB)%8 + 1
+		target := int(targetB)
+		n := len(data) / (8 * dim)
+		if n == 0 {
+			return
+		}
+		if n > 128 {
+			n = 128 // the completeness check below is O(n²)
+		}
+		st := geom.NewStore(dim, n)
+		for i := 0; i < n; i++ {
+			row := st.AppendZero()
+			for d := 0; d < dim; d++ {
+				off := (i*dim + d) * 8
+				row[d] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			}
+		}
+		plan := shard.Grid(st, eps, target)
+		if plan == nil {
+			return // fallback geometry; the consumer keeps its chunked path
+		}
+		if !st.IsFinite() || !(eps > 0) || math.IsInf(eps, 0) {
+			t.Fatal("plan built over non-finite geometry or invalid eps")
+		}
+
+		// Exactly one owner per row, consistent with Plan.Owner.
+		owned := make([]int, n)
+		for r, reg := range plan.Regions {
+			for _, g := range reg.Own {
+				if g < 0 || int(g) >= n {
+					t.Fatalf("region %d owns out-of-range row %d", r, g)
+				}
+				owned[g]++
+				if plan.Owner(int(g)) != r {
+					t.Fatalf("row %d: Owner() = %d, owned by region %d", g, plan.Owner(int(g)), r)
+				}
+			}
+		}
+		for g, c := range owned {
+			if c != 1 {
+				t.Fatalf("row %d owned by %d cells, want exactly 1", g, c)
+			}
+		}
+
+		for r, reg := range plan.Regions {
+			// own ∪ halo must be duplicate-free so the global→local row-id
+			// remapping of the shard-parallel phase is a bijection: copying
+			// the rows into a sub-store and mapping local hits back through
+			// the row list must round-trip.
+			rows := make([]int32, 0, len(reg.Own)+len(reg.Halo))
+			rows = append(rows, reg.Own...)
+			rows = append(rows, reg.Halo...)
+			seen := make(map[int32]bool, len(rows))
+			sub := geom.NewStore(dim, len(rows))
+			for _, g := range rows {
+				if g < 0 || int(g) >= n {
+					t.Fatalf("region %d references out-of-range row %d", r, g)
+				}
+				if seen[g] {
+					t.Fatalf("region %d: row %d appears twice in own+halo", r, g)
+				}
+				seen[g] = true
+				sub.Append(st.Point(int(g)))
+			}
+			for v, g := range rows {
+				for d := 0; d < dim; d++ {
+					if sub.Point(v)[d] != st.Point(int(g))[d] {
+						t.Fatalf("region %d: local row %d does not round-trip to global row %d", r, v, g)
+					}
+				}
+			}
+
+			// Halo rows are foreign and lie within the ε-dilated cell, up to
+			// the documented haloSlack retreat of the gap test.
+			lo, hi := plan.CellBounds(r)
+			for _, g := range reg.Halo {
+				if plan.Owner(int(g)) == r {
+					t.Fatalf("region %d: halo row %d is its own", r, g)
+				}
+				row := st.Point(int(g))
+				var gapSq float64
+				for d := 0; d < dim; d++ {
+					var gap float64
+					switch {
+					case row[d] < lo[d]:
+						gap = lo[d] - row[d]
+					case row[d] > hi[d]:
+						gap = row[d] - hi[d]
+					}
+					gap -= 1e-9 * (math.Abs(lo[d]) + math.Abs(hi[d]) + math.Abs(row[d]))
+					if gap > 0 {
+						gapSq += gap * gap
+					}
+				}
+				if gapSq > eps*eps {
+					t.Fatalf("region %d: halo row %d lies %g beyond the ε-dilated cell", r, g, math.Sqrt(gapSq)-eps)
+				}
+			}
+		}
+
+		// Completeness: every ε-pair is visible through the owner region of
+		// either endpoint. This is the invariant that makes per-shard range
+		// queries equal to global ones.
+		inReach := make(map[int32]bool, n)
+		for i := 0; i < n; i++ {
+			r := plan.Owner(i)
+			reg := &plan.Regions[r]
+			for k := range inReach {
+				delete(inReach, k)
+			}
+			for _, g := range reg.Own {
+				inReach[g] = true
+			}
+			for _, g := range reg.Halo {
+				inReach[g] = true
+			}
+			for j := 0; j < n; j++ {
+				if st.DistanceSq(i, j) <= eps*eps && !inReach[int32(j)] {
+					t.Fatalf("rows %d and %d are within ε but %d is invisible to region %d", i, j, j, r)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,329 @@
+// Package shard provides the spatial partitioners behind the parallel
+// clustering layers: a dataset is split into disjoint owner regions plus an
+// ε-halo of borrowed neighbor rows, so each region can be clustered exactly
+// and independently — the partition-with-halo shape of PDBSCAN (Xu, Jäger,
+// Kriegel 1999, reference [21] of the DBDC paper) and of the
+// grid-partitionize → partial-dbscan → merge pipelines of the data-
+// partitioning literature.
+//
+// Two partitioners share the package:
+//
+//   - Grid splits a flat geom.Store into axis-aligned cells of side ≥ ε and
+//     attaches to every cell the rows of neighboring cells within ε of the
+//     cell's rectangle. dbscan.RunParallel clusters each cell against a
+//     cache-local sub-index of own+halo rows (see internal/dbscan).
+//   - Stripes splits a point slice into equal-cardinality vertical stripes
+//     along the first coordinate — the layout of the exact distributed
+//     comparator internal/pdbscan, which previously carried its own copy of
+//     the halo construction.
+//
+// The halo invariant both partitioners guarantee (and FuzzShardAssign
+// pins): every row belongs to exactly one owner region, and for any two
+// rows p, q with dist(p, q) ≤ ε, q lies in own ∪ halo of p's region. The
+// ε-ball of every owned row is therefore fully visible to its region, which
+// is what makes per-region range queries exact.
+package shard
+
+import (
+	"math"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Region is one owner region of a plan: the rows it owns and the foreign
+// rows it borrows as its ε-halo. Own is ascending; Halo is ascending and
+// disjoint from Own.
+type Region struct {
+	Own  []int32
+	Halo []int32
+}
+
+// Plan is a grid partition of a store: every row is assigned to exactly one
+// owner cell, and each non-empty cell carries the halo of foreign rows
+// within Eps of its rectangle.
+type Plan struct {
+	// Regions lists the non-empty cells in ascending linear cell id order.
+	Regions []Region
+	// Eps is the halo radius the plan was built for.
+	Eps float64
+
+	// Cell geometry, exposed for tests and the fuzz harness: per-axis
+	// bounding box, cell side lengths, and cell counts.
+	Min, Max, Side []float64
+	Counts         []int
+
+	// owner maps every row to its index in Regions.
+	owner []int32
+	// cellID maps every region to its linear cell id.
+	cellID []int32
+}
+
+// sideInflation keeps every cell side at least ε·(1+sideInflation). The
+// margin makes the ±1-cell neighbor walk rigorous under floating point: two
+// rows within ε of each other have cell-coordinate quotients less than one
+// apart by at least ~1e-6 relative, orders of magnitude beyond the few-ulp
+// rounding of the subtract/divide/floor assignment chain, so their computed
+// cells can never differ by two along an axis.
+const sideInflation = 1e-6
+
+// haloSlack is the relative retreat of the row-to-cell-rectangle gap test.
+// Retreating the gaps before comparing against ε makes halo inclusion
+// conservative: a row whose true distance to the cell is within rounding of
+// ε is always admitted. Extra admissions only grow the halo — never wrong,
+// only marginally more work for the consumer.
+const haloSlack = 1e-9
+
+// Grid partitions the store into a grid of at most about target cells with
+// sides at least ε, assigning every row to exactly one owner cell and
+// attaching to each non-empty cell the ε-halo of foreign rows. It returns
+// nil when the geometry does not support sharding and the caller should
+// fall back to its unsharded path:
+//
+//   - empty store, target < 2, or eps not a positive finite number,
+//   - any non-finite coordinate (NaN/±Inf break cell assignment),
+//   - ε (or the target) covering the whole bounding box: fewer than two
+//     cells fit, so there is nothing to parallelize spatially.
+func Grid(st *geom.Store, eps float64, target int) *Plan {
+	if st == nil || st.Len() == 0 || target < 2 {
+		return nil
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil
+	}
+	if !st.IsFinite() {
+		return nil
+	}
+	n := st.Len()
+	dim := st.Dim()
+	rect := st.BoundingRect()
+	span := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		span[d] = rect.Max[d] - rect.Min[d]
+	}
+	minSide := eps * (1 + sideInflation)
+
+	// Split axes greedily: always halve the axis whose current cell side is
+	// largest, while its side stays above the ε floor and the total cell
+	// count stays within target. The result is a near-cubic grid with side
+	// ≥ ε·(1+margin) on every axis.
+	counts := make([]int, dim)
+	for d := range counts {
+		counts[d] = 1
+	}
+	product := 1
+	for product < target {
+		best, bestSide := -1, 0.0
+		for d := 0; d < dim; d++ {
+			if span[d]/float64(counts[d]+1) < minSide {
+				continue // splitting further would drop this axis below ε
+			}
+			if side := span[d] / float64(counts[d]); side > bestSide {
+				best, bestSide = d, side
+			}
+		}
+		if best < 0 {
+			break
+		}
+		counts[best]++
+		product = 1
+		for _, c := range counts {
+			product *= c
+		}
+	}
+	if product < 2 {
+		return nil // ε covers the bounding box: a single cell, nothing to shard
+	}
+
+	side := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		if counts[d] > 1 {
+			side[d] = span[d] / float64(counts[d])
+		} else {
+			side[d] = span[d] // unsplit axis: one cell covering the span
+		}
+	}
+
+	// Row → cell assignment, clamped so the bounding-box maximum lands in
+	// the last cell. Two passes keep the per-cell row lists ascending
+	// without any sorting.
+	cellOf := make([]int32, n)
+	occupancy := make([]int32, product)
+	coords := st.Coords()
+	for i := 0; i < n; i++ {
+		row := coords[i*dim : i*dim+dim]
+		id := 0
+		for d := 0; d < dim; d++ {
+			id = id*counts[d] + cellCoord(row[d], rect.Min[d], side[d], counts[d])
+		}
+		cellOf[i] = int32(id)
+		occupancy[id]++
+	}
+
+	// Non-empty cells become the plan's regions, in ascending cell id order.
+	regionOf := make([]int32, product)
+	var cellID []int32
+	for id, occ := range occupancy {
+		if occ == 0 {
+			regionOf[id] = -1
+			continue
+		}
+		regionOf[id] = int32(len(cellID))
+		cellID = append(cellID, int32(id))
+	}
+	if len(cellID) < 2 {
+		return nil // all rows in one cell: spatially degenerate
+	}
+	p := &Plan{
+		Regions: make([]Region, len(cellID)),
+		Eps:     eps,
+		Min:     rect.Min,
+		Max:     rect.Max,
+		Side:    side,
+		Counts:  counts,
+		owner:   make([]int32, n),
+		cellID:  cellID,
+	}
+	for r, id := range cellID {
+		p.Regions[r].Own = make([]int32, 0, occupancy[id])
+	}
+	for i := 0; i < n; i++ {
+		r := regionOf[cellOf[i]]
+		p.owner[i] = r
+		p.Regions[r].Own = append(p.Regions[r].Own, int32(i))
+	}
+
+	// Halo pass: every row visits the existing neighbor cells of its own
+	// (offsets in {-1,0,1}^d, out-of-range neighbors simply do not exist —
+	// sides ≥ ε·(1+margin) make ±1 sufficient, see sideInflation) and joins
+	// the halo of each foreign non-empty cell whose rectangle lies within ε.
+	// Rows are visited ascending, so halo lists come out ascending for free.
+	eps2 := eps * eps
+	k := make([]int, dim)
+	off := make([]int, dim)
+	for i := 0; i < n; i++ {
+		row := coords[i*dim : i*dim+dim]
+		own := cellOf[i]
+		// Decode the row's cell coordinates from its linear id.
+		id := int(own)
+		for d := dim - 1; d >= 0; d-- {
+			k[d] = id % counts[d]
+			id /= counts[d]
+		}
+		for d := range off {
+			off[d] = -1
+		}
+		for {
+			// Walk one neighbor offset combination per iteration.
+			valid := true
+			nid := 0
+			for d := 0; d < dim; d++ {
+				c := k[d] + off[d]
+				if c < 0 || c >= counts[d] {
+					valid = false
+					break
+				}
+				nid = nid*counts[d] + c
+			}
+			if valid && int32(nid) != own && regionOf[nid] >= 0 &&
+				cellWithinEps(row, k, off, counts, rect.Min, rect.Max, side, eps, eps2) {
+				reg := &p.Regions[regionOf[nid]]
+				reg.Halo = append(reg.Halo, int32(i))
+			}
+			d := dim - 1
+			for d >= 0 {
+				off[d]++
+				if off[d] <= 1 {
+					break
+				}
+				off[d] = -1
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+	return p
+}
+
+// cellCoord assigns one coordinate to its cell index, clamped into
+// [0, count).
+func cellCoord(x, min, side float64, count int) int {
+	if count <= 1 || side <= 0 {
+		return 0
+	}
+	c := int(math.Floor((x - min) / side))
+	if c < 0 {
+		return 0
+	}
+	if c >= count {
+		return count - 1
+	}
+	return c
+}
+
+// cellWithinEps reports whether row lies within eps of the rectangle of the
+// cell at offset off from cell k, with the gaps retreated by haloSlack so
+// rounding in the rectangle reconstruction can only admit, never exclude.
+// The edge cells extend to the bounding box: clamped assignment can place a
+// row slightly outside min + count·side, so the outermost rectangles adopt
+// the exact data extremes.
+func cellWithinEps(row []float64, k, off, counts []int, min, max, side []float64, eps, eps2 float64) bool {
+	var gapSq float64
+	for d := range row {
+		c := k[d] + off[d]
+		lo := min[d] + float64(c)*side[d]
+		hi := lo + side[d]
+		if c == 0 {
+			lo = min[d]
+		}
+		if c == counts[d]-1 {
+			hi = max[d]
+		}
+		var gap float64
+		switch {
+		case row[d] < lo:
+			gap = lo - row[d]
+		case row[d] > hi:
+			gap = row[d] - hi
+		}
+		if gap > 0 {
+			gap -= haloSlack * (math.Abs(lo) + math.Abs(hi) + math.Abs(row[d]))
+			if gap > eps {
+				return false
+			}
+			if gap > 0 {
+				gapSq += gap * gap
+			}
+		}
+	}
+	return gapSq <= eps2
+}
+
+// Owner returns the region index owning the given row.
+func (p *Plan) Owner(row int) int { return int(p.owner[row]) }
+
+// NumRows returns the number of rows the plan partitions.
+func (p *Plan) NumRows() int { return len(p.owner) }
+
+// CellBounds returns the rectangle of region r's cell, edge cells extended
+// to the exact data extremes as in the halo test.
+func (p *Plan) CellBounds(r int) (lo, hi []float64) {
+	dim := len(p.Counts)
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	id := int(p.cellID[r])
+	for d := dim - 1; d >= 0; d-- {
+		c := id % p.Counts[d]
+		id /= p.Counts[d]
+		lo[d] = p.Min[d] + float64(c)*p.Side[d]
+		hi[d] = lo[d] + p.Side[d]
+		if c == 0 {
+			lo[d] = p.Min[d]
+		}
+		if c == p.Counts[d]-1 {
+			hi[d] = p.Max[d]
+		}
+	}
+	return lo, hi
+}

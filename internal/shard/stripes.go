@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"sort"
+
+	"github.com/dbdc-go/dbdc/internal/geom"
+)
+
+// Stripe is one vertical stripe of a dimension-0 partition: the global
+// indexes it owns (in ascending first-coordinate order) and the foreign
+// indexes within Eps of its interval. It is the stripe layout of the exact
+// distributed comparator internal/pdbscan, hoisted here so the stripe and
+// grid partitioners share one home.
+type Stripe struct {
+	Own  []int
+	Halo []int
+	// Lo and Hi are the first coordinates of the stripe's extreme owned
+	// points — the interval the halo is dilated from.
+	Lo, Hi float64
+}
+
+// Stripes splits the points into stripes of equal cardinality along
+// dimension 0 and attaches the eps-halo of each stripe: every foreign point
+// whose first coordinate lies within eps of the stripe interval. (The
+// eps-ball of an owned point p is contained in stripe ∪ halo because
+// |q0 − p0| ≤ dist(q, p) ≤ eps.) Halo entries appear in ascending stripe
+// order, each stripe's contribution in its own ascending-dim-0 own order.
+// Callers must pass len(pts) > 0 and partitions ≥ 1.
+func Stripes(pts []geom.Point, eps float64, partitions int) []Stripe {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]][0] < pts[order[b]][0] })
+	stripes := make([]Stripe, 0, partitions)
+	per := (len(pts) + partitions - 1) / partitions
+	for start := 0; start < len(order); start += per {
+		end := start + per
+		if end > len(order) {
+			end = len(order)
+		}
+		stripes = append(stripes, Stripe{
+			Own: append([]int(nil), order[start:end]...),
+			Lo:  pts[order[start]][0],
+			Hi:  pts[order[end-1]][0],
+		})
+	}
+	for si := range stripes {
+		s := &stripes[si]
+		for sj := range stripes {
+			if sj == si {
+				continue
+			}
+			for _, j := range stripes[sj].Own {
+				if pts[j][0] >= s.Lo-eps && pts[j][0] <= s.Hi+eps {
+					s.Halo = append(s.Halo, j)
+				}
+			}
+		}
+	}
+	return stripes
+}

@@ -215,6 +215,9 @@ func (r *RoundReport) BenchReport(rev, prefix string) *benchio.Report {
 		Rev:       rev,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
+	// The server converting the report is also the host that measured the
+	// read durations, so its core count is the right context to stamp.
+	benchio.StampHost(rep)
 	for _, site := range r.Sites {
 		if !site.OK {
 			continue
